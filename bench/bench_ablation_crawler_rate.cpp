@@ -1,0 +1,45 @@
+// Ablation: crawler refresh rate vs capture coverage (§3.1 methodology).
+//
+// The paper used 20 accounts x 5 s = 0.25 s effective refresh and
+// verified that 0.5 s already "exhaustively captures all broadcasts"; it
+// kept the higher rate to absorb bursts. This sweep shows where coverage
+// actually degrades, and how growing broadcast volume (the 50-item list
+// dilutes) forces faster crawling -- the same scalability pressure the
+// paper's own measurement infrastructure hit when Periscope's volume
+// outgrew their whitelisted rate limits.
+#include <cstdio>
+
+#include "livesim/crawler/crawler.h"
+#include "livesim/stats/report.h"
+
+int main() {
+  using namespace livesim;
+  stats::print_banner("Ablation: crawler refresh rate vs coverage");
+  stats::Table table({"Accounts", "Eff. refresh", "Volume(/s)", "Peak active",
+                      "Coverage", "Detect latency(s)"});
+
+  for (double rate : {2.0, 10.0, 30.0}) {
+    for (std::uint32_t accounts : {1u, 2u, 5u, 10u, 20u}) {
+      crawler::CoverageParams p;
+      p.arrivals_per_s = rate;
+      p.mean_duration_s = 150.0;
+      p.accounts = accounts;
+      p.horizon = 8 * time::kMinute;
+      p.seed = 77;
+      const auto r = crawler::run_coverage_experiment(p);
+      table.add_row(
+          {stats::Table::integer(accounts),
+           stats::Table::num(5.0 / accounts, 2) + "s",
+           stats::Table::num(rate, 0),
+           stats::Table::integer(static_cast<std::int64_t>(r.peak_active)),
+           stats::Table::percent(r.coverage, 2),
+           stats::Table::num(r.mean_detection_latency_s, 1)});
+    }
+  }
+  table.print();
+  std::printf("\nAt the paper's 0.25 s effective refresh coverage is ~100%% "
+              "even at high volume; single-account crawling misses short "
+              "broadcasts once thousands are live (50-item random samples "
+              "dilute).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: distribution of broadcast views and creation over users.
+// Paper shape: activity is highly skewed on both services; the most
+// active 15% of Periscope viewers watch ~10x more broadcasts than the
+// median user.
+#include <cstdio>
+
+#include "livesim/stats/report.h"
+#include "livesim/workload/generator.h"
+
+namespace {
+using namespace livesim;
+
+void report(const char* name, const workload::Dataset& ds) {
+  stats::Sampler views, creates;
+  for (const auto& u : ds.users) {
+    if (u.broadcasts_viewed > 0) views.add(u.broadcasts_viewed);
+    if (u.broadcasts_created > 0) creates.add(u.broadcasts_created);
+  }
+  std::printf("\n%s (active users: %zu viewers, %zu creators)\n", name,
+              views.size(), creates.size());
+  std::printf("%-10s  %-10s  %-10s\n", "count", "viewed", "created");
+  for (double p : {1.0, 3.0, 10.0, 30.0, 100.0, 1000.0, 10000.0}) {
+    std::printf("%-10.0f  %-10.3f  %-10.3f\n", p, views.cdf_at(p),
+                creates.cdf_at(p));
+  }
+  std::printf("top-15%% viewer : median viewer = %.1fx (paper: ~10x)\n",
+              views.quantile(0.85) / std::max(1.0, views.median()));
+  std::printf("top-1%% creator made %.0f broadcasts vs median %.0f\n",
+              creates.quantile(0.99), creates.median());
+}
+}  // namespace
+
+int main() {
+  using namespace livesim;
+  stats::print_banner(
+      "Figure 6: distribution of broadcast views/creation over users");
+  workload::Generator pgen(workload::AppProfile::periscope(), 1.0 / 200.0, 6);
+  const auto periscope = pgen.generate();
+  report("Periscope", periscope);
+  workload::Generator mgen(workload::AppProfile::meerkat(), 1.0 / 4.0, 6);
+  const auto meerkat = mgen.generate();
+  report("Meerkat", meerkat);
+  return 0;
+}

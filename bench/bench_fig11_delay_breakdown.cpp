@@ -1,0 +1,41 @@
+// Figure 11: HLS/RTMP end-to-end delay breakdown.
+//
+// Paper (controlled experiments, 10 repetitions): RTMP ~1.4 s end to end;
+// HLS ~11.7 s, dominated by client buffering (6.9 s), chunking (3 s),
+// polling (1.2 s) and Wowza2Fastly (0.3 s).
+#include <cstdio>
+
+#include "livesim/analysis/experiments.h"
+#include "livesim/stats/report.h"
+
+int main() {
+  using namespace livesim;
+  const auto result = analysis::delay_breakdown_experiment(10, 2016);
+
+  stats::print_banner("Figure 11: HLS/RTMP end-to-end delay breakdown (s)");
+  stats::Table table({"Component", "RTMP (measured)", "HLS (measured)",
+                      "RTMP (paper)", "HLS (paper)"});
+  auto num = [](double v) { return stats::Table::num(v, 2); };
+  const auto& r = result.rtmp;
+  const auto& h = result.hls;
+  table.add_row({"Upload", num(r.upload_s.mean()), num(h.upload_s.mean()),
+                 "~0.3", "~0.3"});
+  table.add_row({"Chunking", "-", num(h.chunking_s.mean()), "-", "3.0"});
+  table.add_row({"Wowza2Fastly", "-", num(h.w2f_s.mean()), "-", "0.3"});
+  table.add_row({"Polling", "-", num(h.polling_s.mean()), "-", "1.2"});
+  table.add_row({"Last mile", num(r.last_mile_s.mean()),
+                 num(h.last_mile_s.mean()), "~0.1", "~0.2"});
+  table.add_row({"Client buffering", num(r.buffering_s.mean()),
+                 num(h.buffering_s.mean()), "~1.0", "6.9"});
+  table.add_row({"TOTAL", num(r.total_s()), num(h.total_s()), "1.4", "11.7"});
+  table.print();
+
+  std::printf("\nHLS / RTMP delay ratio: %.1fx (paper: ~8.4x)\n",
+              h.total_s() / r.total_s());
+  std::printf("HLS delay is dominated by buffering + chunking + polling: "
+              "%.0f%% of total (scalability-driven design choices)\n",
+              (h.buffering_s.mean() + h.chunking_s.mean() +
+               h.polling_s.mean()) /
+                  h.total_s() * 100.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 13: CDF of the polling-delay standard deviation per broadcast
+// for 2 s / 3 s / 4 s polling intervals.
+//
+// Paper shape: polling delay varies substantially *within* each broadcast
+// (viewers cannot predict chunk arrivals); larger intervals widen the
+// within-broadcast variation, and the jitter feeds the client buffer.
+#include <cstdio>
+
+#include "livesim/analysis/experiments.h"
+#include "livesim/stats/report.h"
+
+int main() {
+  using namespace livesim;
+  analysis::TraceSetConfig cfg;
+  cfg.broadcasts = 1600;
+  const auto traces = analysis::generate_traces(cfg);
+
+  stats::print_banner(
+      "Figure 13: CDF of polling delay std-dev per broadcast");
+  std::printf("%-8s  %-8s  %-8s  %-8s\n", "std(s)", "T=2s", "T=3s", "T=4s");
+
+  std::vector<analysis::PollingStats> results;
+  for (DurationUs interval : {2 * time::kSecond, 3 * time::kSecond,
+                              4 * time::kSecond}) {
+    results.push_back(analysis::polling_experiment(
+        traces, interval, 300 * time::kMillisecond, 99));
+  }
+  for (double p : stats::linear_points(0.0, 2.0, 11)) {
+    std::printf("%-8.2f  %-8.3f  %-8.3f  %-8.3f\n", p,
+                results[0].per_broadcast_std_s.cdf_at(p),
+                results[1].per_broadcast_std_s.cdf_at(p),
+                results[2].per_broadcast_std_s.cdf_at(p));
+  }
+  std::printf("\nmedian within-broadcast std: T=2s: %.2f, T=3s: %.2f, "
+              "T=4s: %.2f\n",
+              results[0].per_broadcast_std_s.median(),
+              results[1].per_broadcast_std_s.median(),
+              results[2].per_broadcast_std_s.median());
+  std::printf("(uniform-phase theory: T/sqrt(12) = 0.58 / 0.87 / 1.15; the "
+              "3 s resonance trades spread across broadcasts for lower "
+              "within-broadcast variance)\n");
+  return 0;
+}

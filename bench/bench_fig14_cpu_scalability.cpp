@@ -1,0 +1,59 @@
+// Figure 14: server CPU usage under RTMP vs HLS as viewers grow.
+//
+// Paper (Wowza Streaming Engine on a laptop, 100-500 viewers): RTMP needs
+// much more CPU than HLS and the gap widens with audience size -- RTMP
+// pushes every 40 ms frame down every persistent connection while HLS
+// serves a few polls per viewer per chunk. This is the scalability side
+// of the latency/scalability trade-off.
+#include <cstdio>
+
+#include "livesim/cdn/resource_model.h"
+#include "livesim/cdn/servers.h"
+#include "livesim/media/encoder.h"
+#include "livesim/sim/simulator.h"
+#include "livesim/stats/report.h"
+
+namespace {
+using namespace livesim;
+
+// Event-level validation: run an ingest server that actually pushes frames
+// to N subscribers for 30 s and read its CPU meter.
+double measured_rtmp_cpu(std::uint32_t viewers) {
+  sim::Simulator sim;
+  cdn::IngestServer server(sim, DatacenterId{0}, media::Chunker::Params{},
+                           cdn::ResourceModel{});
+  for (std::uint32_t v = 0; v < viewers; ++v)
+    server.add_rtmp_subscriber([](const media::VideoFrame&, TimeUs) {});
+  media::FrameSource src({}, Rng(1));
+  const DurationUs horizon = 30 * time::kSecond;
+  for (TimeUs t = 0; t < horizon; t += 40 * time::kMillisecond)
+    server.on_frame(src.next());
+  return server.cpu().percent_over(horizon);
+}
+}  // namespace
+
+int main() {
+  using namespace livesim;
+  const cdn::ResourceModel model;
+
+  stats::print_banner(
+      "Figure 14: CPU usage of server using RTMP vs HLS (one broadcast)");
+  stats::Table table({"Viewers", "RTMP CPU% (model)", "RTMP CPU% (event sim)",
+                      "HLS CPU% (model)"});
+  for (std::uint32_t v = 100; v <= 500; v += 100) {
+    table.add_row({stats::Table::integer(v),
+                   stats::Table::num(model.rtmp_cpu_percent(v, 25.0), 1),
+                   stats::Table::num(measured_rtmp_cpu(v), 1),
+                   stats::Table::num(
+                       model.hls_cpu_percent(v, 25.0, 2.8, 3.0), 1)});
+  }
+  table.print();
+
+  std::printf("\nPaper shape: RTMP >> HLS at every size, gap grows with "
+              "viewers (RTMP ~90%% vs HLS modest at 500 viewers).\n");
+  std::printf("RTMP work scales with viewers x 25 fps frame pushes; HLS "
+              "with viewers x ~0.36 polls/s -- a ~%.0fx operation-rate "
+              "difference.\n",
+              25.0 / (1.0 / 2.8));
+  return 0;
+}

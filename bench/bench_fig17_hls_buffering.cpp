@@ -1,0 +1,79 @@
+// Figure 17: HLS -- impact of pre-buffer size on stalling & buffering
+// delay (trace-driven simulation), the paper's headline optimization:
+//
+// Periscope ships P=9 s, but P=6 s gives nearly the same smoothness while
+// cutting buffering delay by ~50% (~3 s saved) -- the client buffer is
+// too conservative.
+#include <cstdio>
+
+#include "livesim/analysis/experiments.h"
+#include "livesim/stats/csv.h"
+#include "livesim/stats/report.h"
+
+int main() {
+  using namespace livesim;
+  analysis::TraceSetConfig cfg;
+  cfg.broadcasts = 1600;
+  const auto traces = analysis::generate_traces(cfg);
+
+  const DurationUs poll = time::from_seconds(2.8);
+  const DurationUs pre_buffers[] = {0, 3 * time::kSecond, 6 * time::kSecond,
+                                    9 * time::kSecond};
+  std::vector<analysis::BufferingStats> results;
+  for (DurationUs p : pre_buffers)
+    results.push_back(analysis::hls_buffering_experiment(traces, p, poll, 6));
+
+  stats::print_banner("Figure 17(a): HLS stalling ratio CDF");
+  std::printf("%-10s  %-8s  %-8s  %-8s  %-8s\n", "stall", "P=0s", "P=3s",
+              "P=6s", "P=9s");
+  for (double p : stats::linear_points(0.0, 0.30, 11)) {
+    std::printf("%-10.2f  %-8.3f  %-8.3f  %-8.3f  %-8.3f\n", p,
+                results[0].stall_ratio.cdf_at(p),
+                results[1].stall_ratio.cdf_at(p),
+                results[2].stall_ratio.cdf_at(p),
+                results[3].stall_ratio.cdf_at(p));
+  }
+
+  stats::print_banner("Figure 17(b): HLS buffering delay CDF");
+  std::printf("%-10s  %-8s  %-8s  %-8s  %-8s\n", "delay(s)", "P=0s", "P=3s",
+              "P=6s", "P=9s");
+  for (double p : stats::linear_points(0.0, 10.0, 11)) {
+    std::printf("%-10.1f  %-8.3f  %-8.3f  %-8.3f  %-8.3f\n", p,
+                results[0].mean_delay_s.cdf_at(p),
+                results[1].mean_delay_s.cdf_at(p),
+                results[2].mean_delay_s.cdf_at(p),
+                results[3].mean_delay_s.cdf_at(p));
+  }
+
+  stats::CsvWriter stall_csv({"stall_ratio", "P0", "P3", "P6", "P9"});
+  for (double p : stats::linear_points(0.0, 0.30, 31))
+    stall_csv.add_row({p, results[0].stall_ratio.cdf_at(p),
+                       results[1].stall_ratio.cdf_at(p),
+                       results[2].stall_ratio.cdf_at(p),
+                       results[3].stall_ratio.cdf_at(p)});
+  stats::CsvWriter delay_csv({"delay_s", "P0", "P3", "P6", "P9"});
+  for (double p : stats::linear_points(0.0, 10.0, 41))
+    delay_csv.add_row({p, results[0].mean_delay_s.cdf_at(p),
+                       results[1].mean_delay_s.cdf_at(p),
+                       results[2].mean_delay_s.cdf_at(p),
+                       results[3].mean_delay_s.cdf_at(p)});
+  const auto dir = stats::CsvWriter::env_dir();
+  if (auto path = stall_csv.write(dir, "fig17a_hls_stall"))
+    std::printf("wrote %s\n", path->c_str());
+  if (auto path = delay_csv.write(dir, "fig17b_hls_delay"))
+    std::printf("wrote %s\n", path->c_str());
+
+  const double stall6 = results[2].stall_ratio.quantile(0.9);
+  const double stall9 = results[3].stall_ratio.quantile(0.9);
+  const double delay6 = results[2].mean_delay_s.median();
+  const double delay9 = results[3].mean_delay_s.median();
+  std::printf("\np90 stall ratio: P=6: %.3f vs P=9: %.3f (similar smoothness)\n",
+              stall6, stall9);
+  std::printf("median buffering delay: P=6: %.2fs vs P=9: %.2fs -> %.0f%% "
+              "reduction (paper: ~50%%, ~3 s saved)\n",
+              delay6, delay9, (1.0 - delay6 / delay9) * 100.0);
+  std::printf("median stall at P=0: %.2f (polling jitter unabsorbed) vs "
+              "P=9: %.3f\n",
+              results[0].stall_ratio.median(), results[3].stall_ratio.median());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Figure 18 / §7: the broadcast tampering attack, before and after, and
+// the signature defense.
+//
+// Paper: an ARP-spoofing MITM on the broadcaster's WiFi parses the
+// unencrypted RTMP stream and swaps video payloads for black frames; the
+// viewer sees the tampered stream while the broadcaster sees no change.
+// The proposed defense signs a hash of (windows of) frames; RTMPS is the
+// heavyweight alternative Facebook Live uses.
+#include <chrono>
+#include <cstdio>
+
+#include "livesim/media/encoder.h"
+#include "livesim/protocol/rtmps.h"
+#include "livesim/security/attack.h"
+#include "livesim/security/stream_sign.h"
+#include "livesim/stats/report.h"
+
+namespace {
+using namespace livesim;
+
+std::vector<media::VideoFrame> capture_frames(int n) {
+  media::FrameSource src({}, Rng(1));
+  Rng payload(2);
+  std::vector<media::VideoFrame> frames;
+  for (int i = 0; i < n; ++i) {
+    auto f = src.next();
+    f.payload.resize(f.size_bytes);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(payload.next_u64());
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+bool looks_black(const media::VideoFrame& f) {
+  for (auto b : f.payload)
+    if (b != 0x00) return false;
+  return !f.payload.empty();
+}
+}  // namespace
+
+int main() {
+  using namespace livesim;
+  const int kFrames = 500;  // 20 s of video
+
+  stats::print_banner("Figure 18 / §7: stream tampering attack & defenses");
+
+  // --- Scenario 1: plain RTMP (deployed Periscope/Meerkat config). ---
+  {
+    security::TamperAttacker attacker;
+    auto frames = capture_frames(kFrames);
+    int viewer_black = 0, parse_ok = 0;
+    for (const auto& f : frames) {
+      const auto received =
+          protocol::wire_to_frame(attacker.intercept(protocol::frame_to_wire(f)));
+      if (received) {
+        ++parse_ok;
+        if (looks_black(*received)) ++viewer_black;
+      }
+    }
+    std::printf("\n[RTMP, no defense] broadcaster sees: original video\n");
+    std::printf("[RTMP, no defense] viewer sees:     %d/%d frames BLACK "
+                "(attack silent, server accepted all %d frames)\n",
+                viewer_black, kFrames, parse_ok);
+    std::printf("[RTMP, no defense] plaintext tokens sniffed: %llu\n",
+                static_cast<unsigned long long>(attacker.stats().tokens_sniffed));
+  }
+
+  // --- Scenario 2: signature defense (the paper's countermeasure). ---
+  {
+    const auto seed = security::Sha256::hash(std::string("broadcast-7"));
+    security::StreamSigner signer(seed, 64, 25);  // sign 1/s of video
+    security::StreamVerifier verifier(signer.root(), 25);
+    security::TamperAttacker attacker;
+
+    auto frames = capture_frames(kFrames);
+    std::uint64_t flagged = 0;
+    for (auto& f : frames) {
+      signer.process(f);
+      const auto received =
+          protocol::wire_to_frame(attacker.intercept(protocol::frame_to_wire(f)));
+      if (received &&
+          verifier.process(*received) ==
+              security::StreamVerifier::Result::kTampered)
+        ++flagged;
+    }
+    std::printf("\n[RTMP + signatures] tampered windows detected: %llu/%llu "
+                "(every signed window flagged)\n",
+                static_cast<unsigned long long>(flagged),
+                static_cast<unsigned long long>(kFrames / 25));
+    std::printf("[RTMP + signatures] root exchanged at setup: 32 bytes; "
+                "signature overhead: ~%zu bytes per 25 frames\n",
+                security::Wots::kSignatureBytes + 8 + 4 + 6 * 32);
+  }
+
+  // --- Scenario 3: RTMPS (Facebook Live's approach). ---
+  {
+    protocol::SecureChannel::Key key{};
+    key[0] = 99;
+    protocol::SecureChannel sender(key), receiver(key);
+    security::TamperAttacker attacker;
+    auto frames = capture_frames(kFrames);
+    int delivered = 0;
+    for (const auto& f : frames) {
+      const auto opened =
+          receiver.open(attacker.intercept(sender.seal(protocol::frame_to_wire(f))));
+      if (opened && protocol::wire_to_frame(*opened)) ++delivered;
+    }
+    std::printf("\n[RTMPS] frames delivered intact: %d/%d; attacker parse "
+                "failures: %llu (cannot read or alter records)\n",
+                delivered, kFrames,
+                static_cast<unsigned long long>(attacker.stats().parse_failures));
+  }
+
+  // --- Cost comparison (the reason Periscope avoided RTMPS). ---
+  {
+    auto frames = capture_frames(kFrames);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      const auto seed = security::Sha256::hash(std::string("x"));
+      security::StreamSigner signer(seed, 64, 25);
+      for (auto& f : frames) signer.process(f);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      protocol::SecureChannel::Key key{};
+      protocol::SecureChannel sender(key);
+      for (const auto& f : frames) sender.seal(protocol::frame_to_wire(f));
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    const double sign_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kFrames;
+    const double rtmps_us =
+        std::chrono::duration<double, std::micro>(t2 - t1).count() / kFrames;
+    std::printf("\nBroadcaster-side cost per frame: selective signing %.1f "
+                "us vs RTMPS full encryption %.1f us (%.1fx)\n",
+                sign_us, rtmps_us, rtmps_us / sign_us);
+    std::printf("(paper: \"encrypting video streams in real time is "
+                "computationally costly\" on phones -- signing selective "
+                "frame hashes is the lightweight fix)\n");
+  }
+  return 0;
+}

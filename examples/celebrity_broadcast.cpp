@@ -1,0 +1,87 @@
+// A celebrity goes live (§3.2: "celebrities like Ellen DeGeneres already
+// have over one million followers, thus creating built-in audiences").
+//
+// Generates a Periscope-like follow graph, picks its biggest account and
+// an average user, and lets the notification fan-out drive audiences into
+// the service -- Figure 7's follower/viewer correlation produced by the
+// actual mechanism rather than a statistical coupling.
+#include <algorithm>
+#include <cstdio>
+
+#include "livesim/core/notifications.h"
+#include "livesim/social/generators.h"
+#include "livesim/stats/report.h"
+
+int main() {
+  using namespace livesim;
+
+  // A scaled-down Periscope follow graph.
+  auto graph = social::generate(social::GraphGenParams::periscope_like(40000));
+  graph.build_reverse();
+
+  // Find the most-followed account and a median one.
+  std::uint32_t celebrity = 0, median_user = 0;
+  std::vector<std::uint32_t> in_degrees(graph.nodes());
+  for (std::uint32_t u = 0; u < graph.nodes(); ++u) {
+    in_degrees[u] = graph.in_degree(u);
+    if (graph.in_degree(u) > graph.in_degree(celebrity)) celebrity = u;
+  }
+  auto sorted = in_degrees;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const std::uint32_t median_followers = sorted[sorted.size() / 2];
+  for (std::uint32_t u = 0; u < graph.nodes(); ++u)
+    if (graph.in_degree(u) == median_followers) {
+      median_user = u;
+      break;
+    }
+
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::LivestreamService::Config cfg;
+  cfg.seed = 77;
+  core::LivestreamService service(sim, catalog, cfg);
+  core::NotificationService::Params np;
+  np.join_probability = 0.05;
+  core::NotificationService notify(sim, graph, service, np, Rng(78));
+
+  const auto celeb_cast =
+      service.start_broadcast({34.05, -118.24}, 5 * time::kMinute);
+  notify.broadcast_started(celebrity, celeb_cast);
+  const auto median_cast =
+      service.start_broadcast({41.88, -87.63}, 5 * time::kMinute);
+  notify.broadcast_started(median_user, median_cast);
+  sim.run();
+
+  const auto ci = *service.info(celeb_cast);
+  const auto mi = *service.info(median_cast);
+
+  stats::print_banner("Celebrity vs median broadcaster (Figure 7's mechanism)");
+  stats::Table table({"Broadcaster", "Followers", "Viewers", "RTMP/interactive",
+                      "HLS/lagged"});
+  table.add_row({"celebrity",
+                 stats::Table::integer(graph.in_degree(celebrity)),
+                 stats::Table::integer(ci.rtmp_viewers + ci.hls_viewers),
+                 stats::Table::integer(ci.rtmp_viewers),
+                 stats::Table::integer(ci.hls_viewers)});
+  table.add_row({"median user",
+                 stats::Table::integer(graph.in_degree(median_user)),
+                 stats::Table::integer(mi.rtmp_viewers + mi.hls_viewers),
+                 stats::Table::integer(mi.rtmp_viewers),
+                 stats::Table::integer(mi.hls_viewers)});
+  table.print();
+
+  std::printf("\nNotifications pushed: %s; joins driven: %s\n",
+              stats::Table::integer(static_cast<std::int64_t>(
+                  notify.notifications_sent())).c_str(),
+              stats::Table::integer(static_cast<std::int64_t>(
+                  notify.joins_driven())).c_str());
+  if (ci.hls_viewers > 0) {
+    std::printf(
+        "The celebrity's audience overflows the %u RTMP slots within "
+        "seconds: %s fans watch ~11 s behind and cannot comment -- the "
+        "interactivity ceiling the paper ends on.\n",
+        100u, stats::Table::integer(ci.hls_viewers).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// The rain puddle goes viral (§3.2's anecdote, operationalized).
+//
+// "A single Periscope of a large rain puddle collected hundreds of
+// thousands of viewers, and had more than 20,000 simultaneous viewers at
+// its peak." This example reconstructs such a broadcast's audience
+// dynamics and asks what the paper's architecture actually does with it:
+// who lands on RTMP vs HLS, what each cohort's delay and interactivity
+// look like, and what the servers carry at the peak.
+#include <cstdio>
+
+#include "livesim/cdn/resource_model.h"
+#include "livesim/stats/report.h"
+#include "livesim/workload/audience.h"
+
+int main() {
+  using namespace livesim;
+
+  // #DrummondPuddleWatch: ~4 hours, viral arrivals, 280K total viewers.
+  workload::AudienceParams p;
+  p.total_viewers = 280000;
+  p.broadcast_len = 4 * time::kHour;
+  p.virality = 4.0;          // word spreads on Twitter
+  p.median_watch_s = 240.0;  // people stay for the puddle
+  p.watch_sigma = 1.2;
+  p.seed = 2016;
+
+  const auto audience = workload::generate_audience(p);
+  const auto curve = workload::concurrency(audience, p.broadcast_len,
+                                           time::kMinute);
+
+  stats::print_banner("#puddle: audience dynamics");
+  std::printf("total viewers: %s; peak concurrent: %s at t=%.0f min "
+              "(paper anecdote: 'more than 20,000 simultaneous')\n",
+              stats::Table::integer(p.total_viewers).c_str(),
+              stats::Table::integer(curve.peak).c_str(),
+              time::to_seconds(curve.peak_at) / 60.0);
+
+  std::printf("\nconcurrent viewers over time (one row per 20 min):\n");
+  for (std::size_t i = 0; i < curve.concurrent.size(); i += 20) {
+    const int bars = static_cast<int>(curve.concurrent[i] /
+                                      (curve.peak / 50 + 1));
+    std::printf("  t=%3zumin %7s |%s\n", i,
+                stats::Table::integer(curve.concurrent[i]).c_str(),
+                std::string(static_cast<std::size_t>(bars), '#').c_str());
+  }
+
+  // What the architecture does with it.
+  const std::uint32_t kSlots = 100;
+  std::uint32_t rtmp = 0;
+  for (std::size_t i = 0; i < audience.size() && rtmp < kSlots; ++i) ++rtmp;
+  const std::uint64_t hls_total = p.total_viewers - rtmp;
+
+  const cdn::ResourceModel model;
+  stats::print_banner("what the infrastructure carries at the peak");
+  std::printf("RTMP cohort: %u viewers (joined in the first %.1f s) -- "
+              "delay ~1.3 s, may comment\n",
+              rtmp, time::to_seconds(audience[kSlots - 1].join));
+  std::printf("HLS cohort:  %s viewers -- delay ~11 s, hearts only\n",
+              stats::Table::integer(static_cast<std::int64_t>(hls_total))
+                  .c_str());
+  std::printf("ingest CPU:  %.0f%% of one core (RTMP fan-out is capped by "
+              "the slot policy)\n",
+              model.rtmp_cpu_percent(rtmp, 25.0));
+  std::printf("edge CPU:    %.1f cores across the CDN for %s concurrent "
+              "HLS pollers at the peak\n",
+              (model.hls_cpu_percent(curve.peak, 25.0, 2.8, 3.0) -
+               model.baseline_percent) / 100.0,
+              stats::Table::integer(curve.peak).c_str());
+  std::printf("\nIf instead everyone got RTMP interactivity: %.0f cores of "
+              "frame-pushing at the peak -- the scalability wall that made "
+              "Periscope cap interaction at %u viewers.\n",
+              model.rtmp_cpu_percent(curve.peak, 25.0) / 100.0, kSlots);
+  std::printf("(The §8 overlay tree would serve the same peak from ~24 "
+              "forwarding sites; see bench_ablation_overlay_multicast.)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Securing a livestream against the §7 hijacking attack.
+//
+// Walks the full story on real bytes: a broadcaster streams over RTMP, a
+// WiFi man-in-the-middle swaps the picture for black frames (silently --
+// the server accepts everything), and then the same broadcast runs again
+// with the hash-chain signature defense enabled, where the ingest server
+// kills the stream at the first tampered window.
+#include <cstdio>
+
+#include "livesim/media/encoder.h"
+#include "livesim/protocol/rtmp.h"
+#include "livesim/security/attack.h"
+#include "livesim/security/stream_sign.h"
+
+namespace {
+using namespace livesim;
+
+std::vector<media::VideoFrame> record_broadcast(int seconds) {
+  media::FrameSource camera({}, Rng(7));
+  Rng pixels(8);
+  std::vector<media::VideoFrame> frames;
+  for (int i = 0; i < seconds * 25; ++i) {
+    auto f = camera.next();
+    f.payload.resize(f.size_bytes);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(pixels.next_u64());
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+}  // namespace
+
+int main() {
+  using namespace livesim;
+  const auto frames = record_broadcast(20);
+
+  std::printf("== Act 1: the deployed protocol (unauthenticated RTMP) ==\n");
+  {
+    security::TamperAttacker attacker;  // on the coffee-shop WiFi
+    int black = 0, accepted = 0;
+    for (auto f : frames) {
+      const auto wire = protocol::frame_to_wire(f);
+      const auto at_server = protocol::wire_to_frame(attacker.intercept(wire));
+      if (!at_server) continue;
+      ++accepted;
+      bool is_black = !at_server->payload.empty();
+      for (auto b : at_server->payload) is_black &= (b == 0);
+      black += is_black ? 1 : 0;
+    }
+    std::printf("  server accepted %d/%zu frames, %d of them replaced by "
+                "black -- nobody noticed.\n",
+                accepted, frames.size(), black);
+    std::printf("  broadcaster's screen: original video. viewers' screens: "
+                "black. (Figure 18)\n\n");
+  }
+
+  std::printf("== Act 2: the paper's defense (signed frame-hash windows) ==\n");
+  {
+    // Setup over HTTPS: the broadcaster derives one-time keys and shares
+    // only the 32-byte Merkle root with the server (and viewers).
+    const auto seed = security::Sha256::hash(std::string("device-secret"));
+    security::StreamSigner signer(seed, 64, 25);
+    security::StreamVerifier server(signer.root(), 25);
+    security::TamperAttacker attacker;
+
+    int window = 0;
+    for (auto f : frames) {
+      signer.process(f);
+      const auto at_server =
+          protocol::wire_to_frame(attacker.intercept(protocol::frame_to_wire(f)));
+      if (!at_server) continue;
+      const auto verdict = server.process(*at_server);
+      if (verdict == security::StreamVerifier::Result::kVerified) ++window;
+      if (verdict == security::StreamVerifier::Result::kTampered) {
+        std::printf("  window %d FAILED verification at frame %llu -> "
+                    "stream terminated, broadcaster alerted.\n",
+                    window, static_cast<unsigned long long>(f.seq));
+        break;
+      }
+    }
+    std::printf("  detection within one signing window (~1 s of video); "
+                "setup cost: one 32-byte root over HTTPS.\n\n");
+  }
+
+  std::printf("== Act 3: clean broadcast with defense on ==\n");
+  {
+    const auto seed = security::Sha256::hash(std::string("device-secret"));
+    security::StreamSigner signer(seed, 64, 25);
+    security::StreamVerifier server(signer.root(), 25);
+    std::uint64_t verified = 0;
+    for (auto f : frames) {
+      signer.process(f);
+      if (server.process(f) == security::StreamVerifier::Result::kVerified)
+        ++verified;
+    }
+    std::printf("  %llu/%d windows verified, zero false alarms, %.1f KB "
+                "signature overhead for 20 s of video.\n",
+                static_cast<unsigned long long>(verified), 20,
+                static_cast<double>(signer.signatures_issued()) *
+                    (security::Wots::kSignatureBytes + 230) / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "livesim/analysis/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "livesim/client/playback.h"
+#include "livesim/media/chunker.h"
+#include "livesim/media/encoder.h"
+#include "livesim/net/link.h"
+#include "livesim/sim/simulator.h"
+
+namespace livesim::analysis {
+
+std::vector<BroadcastTrace> generate_traces(const TraceSetConfig& config) {
+  std::vector<BroadcastTrace> traces;
+  traces.reserve(static_cast<std::size_t>(config.broadcasts));
+  Rng rng(config.seed);
+
+  for (int b = 0; b < config.broadcasts; ++b) {
+    sim::Simulator sim;
+    BroadcastTrace trace;
+
+    net::FifoUplink::Params uplink_params;
+    const double r = rng.uniform();
+    if (r < config.bursty_fraction) {
+      uplink_params = net::LastMileProfiles::bursty_uplink();
+      trace.bursty = true;
+    } else if (r < config.bursty_fraction + config.slow_start_fraction) {
+      // Constrained uplinks: an initial connection outage floods the first
+      // seconds of video out in one burst, and the bandwidth ramps up from
+      // below the video bitrate -- the source of the paper's ~10% of
+      // broadcasts with >5 s buffering delay (Fig 16b).
+      uplink_params = net::LastMileProfiles::stable_uplink();
+      uplink_params.mean_initial_outage = 10 * time::kSecond;
+      uplink_params.initial_bw_fraction = 0.012;
+      uplink_params.ramp_duration = 20 * time::kSecond;
+      trace.bursty = true;
+    } else {
+      uplink_params = net::LastMileProfiles::stable_uplink();
+    }
+    net::FifoUplink uplink(sim, uplink_params, rng.fork());
+
+    media::FrameSource source({}, rng.fork());
+    media::Chunker::Params chunk_params;
+    chunk_params.target_duration = config.chunk_target;
+    chunk_params.max_duration = 2 * config.chunk_target;
+    media::Chunker chunker(chunk_params);
+
+    const auto frames = static_cast<std::uint64_t>(
+        config.broadcast_len / source.params().frame_interval);
+    trace.frame_interval = source.params().frame_interval;
+    trace.frame_arrivals.resize(frames, 0);
+
+    // Connect handshake ahead of frame 1 (see BroadcastSession::start).
+    uplink.send(4096, [](TimeUs) {});
+    for (std::uint64_t i = 0; i < frames; ++i) {
+      media::VideoFrame f = source.next(0);
+      sim.schedule_at(
+          f.capture_ts + trace.frame_interval, [&, f]() mutable {
+            uplink.send(f.size_bytes + 64, [&trace, &chunker, f](TimeUs at) {
+              trace.frame_arrivals[f.seq] = at;
+              if (auto sealed = chunker.push(f, at)) {
+                trace.chunks.push_back({sealed->completed_ts,
+                                        sealed->first_capture_ts,
+                                        sealed->duration, sealed->size_bytes});
+              }
+            });
+          });
+    }
+    sim.run();
+    if (auto sealed = chunker.flush(sim.now())) {
+      trace.chunks.push_back({sealed->completed_ts, sealed->first_capture_ts,
+                              sealed->duration, sealed->size_bytes});
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+PollingStats polling_experiment(const std::vector<BroadcastTrace>& traces,
+                                DurationUs interval, DurationUs w2f_offset,
+                                std::uint64_t seed) {
+  PollingStats out;
+  Rng rng(seed);
+  for (const auto& trace : traces) {
+    if (trace.chunks.size() < 3) continue;
+    const TimeUs phase = static_cast<TimeUs>(
+        rng.uniform() * static_cast<double>(interval));
+    stats::Accumulator delays;
+    for (const auto& c : trace.chunks) {
+      // Availability at the edge jitters with the origin-pull latency.
+      const auto w2f = static_cast<DurationUs>(
+          static_cast<double>(w2f_offset) *
+          (1.0 + 0.35 * std::abs(rng.normal(0.0, 1.0))));
+      const TimeUs available = c.completed_at_ingest + w2f;
+      // First poll tick at/after availability.
+      const TimeUs since_phase = available > phase ? available - phase : 0;
+      const TimeUs ticks = (since_phase + interval - 1) / interval;
+      const TimeUs poll_at = phase + ticks * interval;
+      delays.add(time::to_seconds(poll_at - available));
+    }
+    out.per_broadcast_mean_s.add(delays.mean());
+    out.per_broadcast_std_s.add(delays.stddev());
+  }
+  return out;
+}
+
+namespace {
+// The paper's §6 assumptions: a stable last-mile link (<1 s) between the
+// CDN and the viewer.
+constexpr DurationUs kRtmpLastMile = 80 * time::kMillisecond;
+constexpr DurationUs kHlsDownload = 150 * time::kMillisecond;
+}  // namespace
+
+BufferingStats rtmp_buffering_experiment(
+    const std::vector<BroadcastTrace>& traces, DurationUs pre_buffer,
+    std::uint64_t seed) {
+  BufferingStats out;
+  Rng rng(seed);
+  for (const auto& trace : traces) {
+    client::PlaybackSchedule playback(pre_buffer);
+    for (std::size_t i = 0; i < trace.frame_arrivals.size(); ++i) {
+      if (trace.frame_arrivals[i] == 0 && i > 0) continue;  // lost/unsent
+      const DurationUs jitter = static_cast<DurationUs>(
+          5000.0 * std::abs(rng.normal(0.0, 1.0)));
+      playback.on_arrival(
+          trace.frame_arrivals[i] + kRtmpLastMile + jitter,
+          static_cast<DurationUs>(i) * trace.frame_interval,
+          trace.frame_interval);
+    }
+    out.stall_ratio.add(playback.stall_ratio());
+    out.mean_delay_s.add(playback.started()
+                             ? playback.buffering_delay_s().mean()
+                             : 0.0);
+  }
+  return out;
+}
+
+BufferingStats hls_buffering_experiment(
+    const std::vector<BroadcastTrace>& traces, DurationUs pre_buffer,
+    DurationUs poll_interval, std::uint64_t seed) {
+  BufferingStats out;
+  Rng rng(seed);
+  for (const auto& trace : traces) {
+    if (trace.chunks.empty()) continue;
+    client::PlaybackSchedule playback(pre_buffer);
+    const TimeUs phase = static_cast<TimeUs>(
+        rng.uniform() * static_cast<double>(poll_interval));
+    for (const auto& c : trace.chunks) {
+      // Availability at the edge: completion + expiry notice + origin pull
+      // (kept fresh by the many-viewer / crawler polling of §4.3).
+      const DurationUs w2f = static_cast<DurationUs>(
+          300000.0 * (1.0 + 0.3 * std::abs(rng.normal(0.0, 1.0))));
+      const TimeUs available = c.completed_at_ingest + w2f;
+      const TimeUs since_phase = available > phase ? available - phase : 0;
+      const TimeUs ticks = (since_phase + poll_interval - 1) / poll_interval;
+      const TimeUs poll_at = phase + ticks * poll_interval;
+      playback.on_arrival(poll_at + kHlsDownload, c.media_start, c.duration);
+    }
+    out.stall_ratio.add(playback.stall_ratio());
+    out.mean_delay_s.add(playback.started()
+                             ? playback.buffering_delay_s().mean()
+                             : 0.0);
+  }
+  return out;
+}
+
+std::vector<W2FBucket> w2f_experiment(const geo::DatacenterCatalog& catalog,
+                                      int samples_per_pair,
+                                      std::uint64_t seed) {
+  std::vector<W2FBucket> buckets = {
+      {"co-located (0 km)", -1.0, 0.5, {}},
+      {"(0, 500 km]", 0.5, 500.0, {}},
+      {"(500, 5000 km]", 500.0, 5000.0, {}},
+      {"(5000, 10000 km]", 5000.0, 10000.0, {}},
+      {"> 10000 km", 10000.0, 1e9, {}},
+  };
+  Rng rng(seed);
+  geo::LatencyModel latency;
+  cdn::W2FModel model(catalog, latency);
+
+  for (const auto* ingest : catalog.ingest_sites()) {
+    for (const auto* edge : catalog.edge_sites()) {
+      const double km = catalog.distance_km(ingest->id, edge->id);
+      auto bucket = std::find_if(buckets.begin(), buckets.end(),
+                                 [km](const W2FBucket& b) {
+                                   return km > b.min_km && km <= b.max_km;
+                                 });
+      if (bucket == buckets.end()) continue;
+      for (int s = 0; s < samples_per_pair; ++s) {
+        // Expiry notice to this edge + the crawler's <=0.1 s poll offset.
+        const DurationUs notice = latency.sample_delay(km, rng);
+        const DurationUs poll_offset =
+            static_cast<DurationUs>(rng.uniform() * 100000.0);
+        const DurationUs transfer =
+            model.sample_transfer(ingest->id, edge->id, 200000, rng);
+        bucket->delay_s.add(
+            time::to_seconds(notice + poll_offset + transfer));
+      }
+    }
+  }
+  return buckets;
+}
+
+BreakdownResult delay_breakdown_experiment(int repetitions,
+                                           std::uint64_t seed) {
+  BreakdownResult out;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::Simulator sim;
+    const auto catalog = geo::DatacenterCatalog::paper_footprint();
+    core::SessionConfig cfg;
+    cfg.broadcast_len = 2 * time::kMinute;
+    // The paper's controlled experiment: one broadcaster in Santa Barbara,
+    // one RTMP and one HLS viewer on local WiFi; the measurement crawler
+    // keeps the Fastly caches fresh.
+    cfg.broadcaster_location = {34.42, -119.70};
+    cfg.global_viewers = false;
+    cfg.rtmp_viewers = 1;
+    cfg.hls_viewers = 1;
+    cfg.crawler_pollers = true;
+    cfg.seed = seed + static_cast<std::uint64_t>(rep);
+    core::BroadcastSession session(sim, catalog, cfg);
+    session.start();
+    sim.run();
+    session.finalize();
+    out.rtmp.merge(session.rtmp_breakdown());
+    out.hls.merge(session.hls_breakdown());
+  }
+  return out;
+}
+
+}  // namespace livesim::analysis

@@ -1,0 +1,89 @@
+#include "livesim/analysis/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace livesim::analysis {
+
+void save_traces(const std::vector<BroadcastTrace>& traces,
+                 std::ostream& out) {
+  out << "# livesim trace set v1: " << traces.size() << " broadcasts\n";
+  for (const auto& t : traces) {
+    out << "B " << t.frame_interval << ' ' << (t.bursty ? 1 : 0) << ' '
+        << t.frame_arrivals.size() << ' ' << t.chunks.size() << '\n';
+    for (std::size_t i = 0; i < t.frame_arrivals.size(); ++i) {
+      out << (i % 8 == 0 ? "F" : "") << ' ' << t.frame_arrivals[i];
+      if (i % 8 == 7 || i + 1 == t.frame_arrivals.size()) out << '\n';
+    }
+    for (const auto& c : t.chunks) {
+      out << "C " << c.completed_at_ingest << ' ' << c.media_start << ' '
+          << c.duration << ' ' << c.bytes << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("save_traces: write failed");
+}
+
+void save_traces(const std::vector<BroadcastTrace>& traces,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_traces: cannot open " + path);
+  save_traces(traces, out);
+}
+
+std::optional<std::vector<BroadcastTrace>> load_traces(std::istream& in) {
+  std::vector<BroadcastTrace> traces;
+  std::string line;
+  BroadcastTrace* current = nullptr;
+  std::size_t expected_frames = 0, expected_chunks = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'B') {
+      if (current != nullptr &&
+          (current->frame_arrivals.size() != expected_frames ||
+           current->chunks.size() != expected_chunks))
+        return std::nullopt;
+      traces.emplace_back();
+      current = &traces.back();
+      int bursty = 0;
+      ls >> current->frame_interval >> bursty >> expected_frames >>
+          expected_chunks;
+      if (ls.fail() || current->frame_interval <= 0) return std::nullopt;
+      current->bursty = bursty != 0;
+      current->frame_arrivals.reserve(expected_frames);
+    } else if (tag == 'F') {
+      if (current == nullptr) return std::nullopt;
+      TimeUs v;
+      while (ls >> v) current->frame_arrivals.push_back(v);
+      if (current->frame_arrivals.size() > expected_frames)
+        return std::nullopt;
+    } else if (tag == 'C') {
+      if (current == nullptr) return std::nullopt;
+      BroadcastTrace::ChunkRec c;
+      ls >> c.completed_at_ingest >> c.media_start >> c.duration >> c.bytes;
+      if (ls.fail()) return std::nullopt;
+      current->chunks.push_back(c);
+      if (current->chunks.size() > expected_chunks) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (current != nullptr &&
+      (current->frame_arrivals.size() != expected_frames ||
+       current->chunks.size() != expected_chunks))
+    return std::nullopt;
+  return traces;
+}
+
+std::optional<std::vector<BroadcastTrace>> load_traces(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_traces(in);
+}
+
+}  // namespace livesim::analysis

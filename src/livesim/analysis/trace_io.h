@@ -1,0 +1,35 @@
+// Trace dataset serialization -- the repo's analogue of the paper's
+// closing promise to "make parts of our measurement datasets available to
+// the research community": broadcast trace sets round-trip through a
+// simple line-oriented text format, so experiments can be re-run against
+// saved (or externally produced) traces instead of regenerating them.
+//
+// Format (one record per line, '#' comments allowed):
+//   B <frame_interval_us> <bursty:0|1> <n_frames> <n_chunks>
+//   F <arrival_us> ...            (n_frames values, 8 per line)
+//   C <completed_us> <media_start_us> <duration_us> <bytes>   (x n_chunks)
+#ifndef LIVESIM_ANALYSIS_TRACE_IO_H
+#define LIVESIM_ANALYSIS_TRACE_IO_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "livesim/analysis/experiments.h"
+
+namespace livesim::analysis {
+
+/// Serializes a trace set. Throws on I/O failure.
+void save_traces(const std::vector<BroadcastTrace>& traces, std::ostream& out);
+void save_traces(const std::vector<BroadcastTrace>& traces,
+                 const std::string& path);
+
+/// Parses a trace set; nullopt on any structural error.
+std::optional<std::vector<BroadcastTrace>> load_traces(std::istream& in);
+std::optional<std::vector<BroadcastTrace>> load_traces(
+    const std::string& path);
+
+}  // namespace livesim::analysis
+
+#endif  // LIVESIM_ANALYSIS_TRACE_IO_H

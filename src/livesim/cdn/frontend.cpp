@@ -1,0 +1,102 @@
+#include "livesim/cdn/frontend.h"
+
+#include "livesim/protocol/wire.h"
+
+namespace livesim::cdn {
+
+std::string TokenAuthority::issue(std::uint64_t broadcast_id) const {
+  protocol::ByteWriter w;
+  w.u64(broadcast_id);
+  const security::Digest mac = security::hmac_sha256(secret_, w.data());
+  // A truncated tag (13 bytes, like Periscope's 13-char tokens) is plenty
+  // for a capability token.
+  return security::to_hex(mac).substr(0, 26);
+}
+
+bool TokenAuthority::validate(std::uint64_t broadcast_id,
+                              const std::string& token) const {
+  // Constant-time comparison over the expected token.
+  const std::string expected = issue(broadcast_id);
+  if (token.size() != expected.size()) return false;
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < token.size(); ++i)
+    diff |= static_cast<unsigned char>(token[i] ^ expected[i]);
+  return diff == 0;
+}
+
+RtmpFrontend::RtmpFrontend(const TokenAuthority& authority,
+                           std::uint64_t broadcast_id, FrameSink sink,
+                           std::optional<security::Digest> expected_root,
+                           std::uint32_t sign_every)
+    : authority_(authority), broadcast_id_(broadcast_id),
+      sink_(std::move(sink)) {
+  if (expected_root) {
+    verifier_ = std::make_unique<security::StreamVerifier>(*expected_root,
+                                                           sign_every);
+  }
+}
+
+RtmpFrontend::Verdict RtmpFrontend::consume(
+    std::span<const std::uint8_t> wire) {
+  if (state_ == State::kClosed) return Verdict::kRejected;
+
+  const auto msg = protocol::decode_message(wire);
+  if (!msg) {
+    state_ = State::kClosed;
+    return Verdict::kRejected;
+  }
+
+  switch (state_) {
+    case State::kAwaitConnect: {
+      if (msg->type != protocol::RtmpMessageType::kConnect) {
+        state_ = State::kClosed;
+        return Verdict::kRejected;  // frames before connect
+      }
+      const auto connect = protocol::decode_connect(msg->body);
+      if (!connect ||
+          !authority_.validate(broadcast_id_, connect->broadcast_token)) {
+        state_ = State::kClosed;
+        return Verdict::kRejected;
+      }
+      state_ = State::kStreaming;
+      return Verdict::kAcknowledged;
+    }
+    case State::kStreaming: {
+      if (msg->type == protocol::RtmpMessageType::kEndOfStream) {
+        state_ = State::kClosed;
+        return Verdict::kEndOfStream;
+      }
+      if (msg->type != protocol::RtmpMessageType::kVideoFrame) {
+        state_ = State::kClosed;
+        return Verdict::kRejected;
+      }
+      const auto v = protocol::decode_video(msg->body);
+      if (!v) {
+        state_ = State::kClosed;
+        return Verdict::kRejected;
+      }
+      media::VideoFrame frame;
+      frame.seq = v->frame_seq;
+      frame.capture_ts = v->capture_ts_us;
+      frame.keyframe = v->keyframe();
+      frame.size_bytes = static_cast<std::uint32_t>(v->payload.size());
+      frame.payload = v->payload;
+      frame.signature = v->signature;
+
+      if (verifier_ != nullptr &&
+          verifier_->process(frame) ==
+              security::StreamVerifier::Result::kTampered) {
+        state_ = State::kClosed;
+        return Verdict::kTampered;
+      }
+      ++frames_;
+      if (sink_) sink_(frame);
+      return Verdict::kAccepted;
+    }
+    case State::kClosed:
+      break;
+  }
+  return Verdict::kRejected;
+}
+
+}  // namespace livesim::cdn

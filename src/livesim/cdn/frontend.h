@@ -1,0 +1,80 @@
+// Byte-level RTMP ingest front-end: connection state machine + token auth.
+//
+// Models what Wowza actually does with the bytes the broadcaster sends:
+// expect a connect message carrying the broadcast token (issued by the
+// Periscope control server over HTTPS), validate it, then accept video
+// frames until end-of-stream. Two §7-relevant facts live here:
+//
+//  * the token is the ONLY authentication, and it traveled in plaintext --
+//    an attacker who sniffed it can publish into the broadcast;
+//  * with the signature defense enabled, the front-end verifies each
+//    signed window and kills the connection on the first tampered one.
+#ifndef LIVESIM_CDN_FRONTEND_H
+#define LIVESIM_CDN_FRONTEND_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "livesim/protocol/rtmp.h"
+#include "livesim/security/sha256.h"
+#include "livesim/security/stream_sign.h"
+
+namespace livesim::cdn {
+
+/// Issues and validates broadcast tokens (HMAC over the broadcast id with
+/// a server-side secret, hex-encoded -- structurally like Periscope's
+/// 13-char opaque tokens, but verifiable without a lookup table).
+class TokenAuthority {
+ public:
+  explicit TokenAuthority(const security::Digest& server_secret)
+      : secret_(server_secret) {}
+
+  std::string issue(std::uint64_t broadcast_id) const;
+  bool validate(std::uint64_t broadcast_id, const std::string& token) const;
+
+ private:
+  security::Digest secret_;
+};
+
+class RtmpFrontend {
+ public:
+  enum class State { kAwaitConnect, kStreaming, kClosed };
+  enum class Verdict {
+    kAccepted,       // message consumed
+    kAcknowledged,   // connect accepted (publish-ack would be sent)
+    kRejected,       // bad token / malformed / out of order -> closed
+    kTampered,       // signature verification failed -> closed
+    kEndOfStream,    // clean termination
+  };
+
+  using FrameSink = std::function<void(const media::VideoFrame&)>;
+
+  /// `expected_root`: enables the §7.2 signature defense when set (the
+  /// broadcaster registered its Merkle root over the HTTPS control
+  /// channel); `sign_every` must match the broadcaster's signer.
+  RtmpFrontend(const TokenAuthority& authority, std::uint64_t broadcast_id,
+               FrameSink sink,
+               std::optional<security::Digest> expected_root = std::nullopt,
+               std::uint32_t sign_every = 25);
+
+  /// Consumes one wire message; advances the connection state machine.
+  Verdict consume(std::span<const std::uint8_t> wire);
+
+  State state() const noexcept { return state_; }
+  std::uint64_t frames_accepted() const noexcept { return frames_; }
+
+ private:
+  const TokenAuthority& authority_;
+  std::uint64_t broadcast_id_;
+  FrameSink sink_;
+  std::unique_ptr<security::StreamVerifier> verifier_;
+  State state_ = State::kAwaitConnect;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace livesim::cdn
+
+#endif  // LIVESIM_CDN_FRONTEND_H

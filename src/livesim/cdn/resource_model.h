@@ -1,0 +1,83 @@
+// Server resource (CPU) model -- the scalability side of the paper's
+// latency/scalability trade-off.
+//
+// Reproduces the mechanism behind Figure 14: RTMP pushes every ~40 ms
+// frame to every viewer over its persistent connection, so server work
+// scales with viewers x frame-rate; HLS serves a chunklist poll every few
+// seconds per viewer plus amortized chunk assembly, so its per-viewer work
+// is ~two orders of magnitude smaller. Costs are expressed as CPU-time per
+// operation on a reference single-core server (the paper's laptop Wowza).
+#ifndef LIVESIM_CDN_RESOURCE_MODEL_H
+#define LIVESIM_CDN_RESOURCE_MODEL_H
+
+#include <cstdint>
+
+#include "livesim/util/time.h"
+
+namespace livesim::cdn {
+
+struct ResourceModel {
+  // Per-operation CPU costs (microseconds of CPU time).
+  double frame_push_us = 70.0;     // push one frame to one RTMP viewer
+  double frame_ingest_us = 40.0;   // receive one frame from the broadcaster
+  double poll_serve_us = 550.0;    // serve one HLS chunklist poll (HTTP)
+  double chunk_build_us = 2500.0;  // assemble + register one chunk
+  double chunk_serve_us = 300.0;   // serve one chunk download
+  double baseline_percent = 2.0;   // idle daemon overhead
+
+  /// Steady-state CPU % serving `viewers` RTMP viewers of one broadcast.
+  double rtmp_cpu_percent(std::uint32_t viewers, double fps) const noexcept {
+    const double work_us_per_s =
+        fps * frame_ingest_us +
+        static_cast<double>(viewers) * fps * frame_push_us;
+    return baseline_percent + work_us_per_s / 1e4;  // 1e6 us == 100%
+  }
+
+  /// Steady-state CPU % serving `viewers` HLS viewers of one broadcast.
+  double hls_cpu_percent(std::uint32_t viewers, double fps,
+                         double poll_interval_s,
+                         double chunk_duration_s) const noexcept {
+    const double polls_per_s =
+        poll_interval_s > 0 ? static_cast<double>(viewers) / poll_interval_s
+                            : 0.0;
+    const double chunks_per_s =
+        chunk_duration_s > 0 ? 1.0 / chunk_duration_s : 0.0;
+    const double work_us_per_s =
+        fps * frame_ingest_us + chunks_per_s * chunk_build_us +
+        polls_per_s * (poll_serve_us + chunk_serve_us * chunk_duration_s /
+                                           (poll_interval_s > 0
+                                                ? poll_interval_s
+                                                : 1.0));
+    return baseline_percent + work_us_per_s / 1e4;
+  }
+};
+
+/// Event-level CPU accounting attached to a simulated server: the session
+/// drivers call charge() per operation and read back utilization.
+class CpuMeter {
+ public:
+  explicit CpuMeter(const ResourceModel& model) : model_(model) {}
+
+  void charge_frame_push() noexcept { busy_us_ += model_.frame_push_us; }
+  void charge_frame_ingest() noexcept { busy_us_ += model_.frame_ingest_us; }
+  void charge_poll() noexcept { busy_us_ += model_.poll_serve_us; }
+  void charge_chunk_build() noexcept { busy_us_ += model_.chunk_build_us; }
+  void charge_chunk_serve() noexcept { busy_us_ += model_.chunk_serve_us; }
+
+  /// Utilization over a wall window, in percent of one core.
+  double percent_over(DurationUs window) const noexcept {
+    if (window <= 0) return 0.0;
+    return model_.baseline_percent +
+           busy_us_ / static_cast<double>(window) * 100.0;
+  }
+
+  double busy_us() const noexcept { return busy_us_; }
+
+ private:
+  ResourceModel model_;
+  double busy_us_ = 0.0;
+};
+
+}  // namespace livesim::cdn
+
+#endif  // LIVESIM_CDN_RESOURCE_MODEL_H

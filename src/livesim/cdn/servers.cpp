@@ -1,0 +1,107 @@
+#include "livesim/cdn/servers.h"
+
+#include <algorithm>
+
+namespace livesim::cdn {
+
+void IngestServer::on_frame(const media::VideoFrame& frame) {
+  ++frames_ingested_;
+  cpu_.charge_frame_ingest();
+  ingress_bytes_ += frame.size_bytes;
+  const TimeUs now = sim_.now();
+  for (const auto& sink : rtmp_subscribers_) {
+    cpu_.charge_frame_push();
+    egress_bytes_ += frame.size_bytes;
+    sink(frame, now);
+  }
+  if (auto sealed = chunker_.push(frame, now)) emit_chunk(*sealed);
+}
+
+void IngestServer::on_end_of_stream() {
+  if (auto sealed = chunker_.flush(sim_.now())) emit_chunk(*sealed);
+}
+
+void IngestServer::emit_chunk(const media::Chunk& c) {
+  cpu_.charge_chunk_build();
+  if (chunk_listener_) chunk_listener_(c);
+}
+
+void EdgeServer::on_expire_notice(std::uint64_t latest_seq) {
+  if (static_cast<std::int64_t>(latest_seq) > known_latest_seq_)
+    known_latest_seq_ = static_cast<std::int64_t>(latest_seq);
+}
+
+void EdgeServer::respond(std::int64_t client_last_seq,
+                         const PollCallback& cb) {
+  std::vector<media::Chunk> fresh;
+  egress_bytes_ += 1200;  // the playlist response itself
+  for (const auto& c : cache_) {
+    if (static_cast<std::int64_t>(c.seq) > client_last_seq) {
+      cpu_.charge_chunk_serve();
+      egress_bytes_ += c.size_bytes;
+      fresh.push_back(c);
+    }
+  }
+  cb(sim_.now(), std::move(fresh));
+}
+
+void EdgeServer::on_poll(std::int64_t client_last_seq, PollCallback cb) {
+  ++polls_;
+  cpu_.charge_poll();
+  if (cached_seq_ >= known_latest_seq_) {
+    respond(client_last_seq, cb);
+    return;
+  }
+  // Stale: this poll (or an earlier one) triggers the origin fetch; the
+  // poller waits for the fresh content rather than getting stale data.
+  waiters_.push_back(Waiter{client_last_seq, std::move(cb)});
+  if (!fetching_) start_fetch();
+}
+
+void EdgeServer::start_fetch(std::uint32_t attempt) {
+  fetching_ = true;
+  ++fetches_;
+  fetch_([this, attempt](FetchResult result) {
+    if (!result) {
+      ++fetch_failures_;
+      if (attempt < max_attempts_) {
+        // Retry with linear backoff; waiters keep waiting.
+        sim_.schedule_in(retry_backoff_ * attempt,
+                         [this, attempt] { start_fetch(attempt + 1); });
+      } else {
+        // Give up: serve waiters whatever is cached (possibly stale).
+        fetching_ = false;
+        auto waiters = std::move(waiters_);
+        waiters_.clear();
+        for (auto& w : waiters) respond(w.last_seq, w.cb);
+      }
+      return;
+    }
+    auto& fresh = *result;
+    const TimeUs now = sim_.now();
+    for (auto& c : fresh) {
+      if (static_cast<std::int64_t>(c.seq) > cached_seq_) {
+        cache_.push_back(c);
+        chunk_available_.emplace(c.seq, now);
+        cached_seq_ = static_cast<std::int64_t>(c.seq);
+      }
+    }
+    // Keep the cache a sliding window: edges don't hold the whole stream.
+    constexpr std::size_t kWindow = 8;
+    if (cache_.size() > kWindow)
+      cache_.erase(cache_.begin(),
+                   cache_.begin() + static_cast<std::ptrdiff_t>(
+                                        cache_.size() - kWindow));
+    if (cached_seq_ > known_latest_seq_) known_latest_seq_ = cached_seq_;
+    fetching_ = false;
+
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) respond(w.last_seq, w.cb);
+
+    // New chunks may have been announced while the fetch was in flight.
+    if (!waiters_.empty() && cached_seq_ < known_latest_seq_) start_fetch();
+  });
+}
+
+}  // namespace livesim::cdn

@@ -1,0 +1,155 @@
+// Ingest (Wowza-like) and edge (Fastly-like) server state machines.
+//
+// IngestServer: terminates the broadcaster's RTMP connection, pushes each
+// frame to its (capped) RTMP subscribers, and runs the chunker whose
+// sealed chunks expire downstream edge caches.
+//
+// EdgeServer: serves HLS polls from cache; the first poll that arrives
+// after an expiry notification triggers a single origin fetch, and every
+// poll that arrives while the fetch is in flight waits for it (request
+// coalescing) -- precisely the mechanism behind the paper's Wowza2Fastly
+// delay component.
+#ifndef LIVESIM_CDN_SERVERS_H
+#define LIVESIM_CDN_SERVERS_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "livesim/cdn/resource_model.h"
+#include "livesim/media/chunker.h"
+#include "livesim/media/frame.h"
+#include "livesim/sim/simulator.h"
+#include "livesim/util/ids.h"
+
+namespace livesim::cdn {
+
+class IngestServer {
+ public:
+  /// (frame, arrival time at ingest) -> deliver to one RTMP viewer.
+  using FrameSink = std::function<void(const media::VideoFrame&, TimeUs)>;
+  /// Sealed chunk ready at the ingest -> notify edges / recorders.
+  using ChunkSink = std::function<void(const media::Chunk&)>;
+
+  IngestServer(sim::Simulator& sim, DatacenterId site,
+               media::Chunker::Params chunker_params,
+               const ResourceModel& resources)
+      : sim_(sim), site_(site), chunker_(chunker_params), cpu_(resources) {}
+
+  /// Frame arrived over the broadcaster's uplink.
+  void on_frame(const media::VideoFrame& frame);
+
+  /// End of broadcast: seals any partial chunk.
+  void on_end_of_stream();
+
+  /// Adds an RTMP subscriber. The RTMP slot cap (the "first ~100 viewers"
+  /// policy) is enforced by the service layer, not here.
+  void add_rtmp_subscriber(FrameSink sink) {
+    rtmp_subscribers_.push_back(std::move(sink));
+  }
+
+  void set_chunk_listener(ChunkSink sink) { chunk_listener_ = std::move(sink); }
+
+  DatacenterId site() const noexcept { return site_; }
+  const media::ChunkList& playlist() const noexcept {
+    return chunker_.playlist();
+  }
+  std::size_t rtmp_subscriber_count() const noexcept {
+    return rtmp_subscribers_.size();
+  }
+  CpuMeter& cpu() noexcept { return cpu_; }
+  std::uint64_t frames_ingested() const noexcept { return frames_ingested_; }
+  /// Bytes pushed to RTMP subscribers (egress) and received (ingress).
+  std::uint64_t egress_bytes() const noexcept { return egress_bytes_; }
+  std::uint64_t ingress_bytes() const noexcept { return ingress_bytes_; }
+
+ private:
+  void emit_chunk(const media::Chunk& c);
+
+  sim::Simulator& sim_;
+  DatacenterId site_;
+  media::Chunker chunker_;
+  CpuMeter cpu_;
+  std::vector<FrameSink> rtmp_subscribers_;
+  ChunkSink chunk_listener_;
+  std::uint64_t frames_ingested_ = 0;
+  std::uint64_t egress_bytes_ = 0;
+  std::uint64_t ingress_bytes_ = 0;
+};
+
+class EdgeServer {
+ public:
+  /// Async origin fetch: the service wires this to the W2F model. The
+  /// callback must eventually fire -- with the chunks now present at the
+  /// origin playlist, or nullopt on a failed transfer (timeout, transient
+  /// origin error), which the edge retries with backoff.
+  using FetchResult = std::optional<std::vector<media::Chunk>>;
+  using OriginFetchFn = std::function<void(std::function<void(FetchResult)>)>;
+
+  /// (serve time at edge, chunks newer than the client's last sequence).
+  using PollCallback = std::function<void(TimeUs, std::vector<media::Chunk>)>;
+
+  EdgeServer(sim::Simulator& sim, DatacenterId site, OriginFetchFn fetch,
+             const ResourceModel& resources)
+      : sim_(sim), site_(site), fetch_(std::move(fetch)), cpu_(resources) {}
+
+  /// Expiry notification from the ingest: a chunk with this sequence now
+  /// exists upstream, so the cached chunklist is stale.
+  void on_expire_notice(std::uint64_t latest_seq);
+
+  /// An HLS poll arrived at this edge. `client_last_seq` is the highest
+  /// chunk sequence the client already has (-1 for none).
+  void on_poll(std::int64_t client_last_seq, PollCallback cb);
+
+  /// When each chunk became servable at this edge (Fig 15's timestamp 11).
+  const std::unordered_map<std::uint64_t, TimeUs>& availability()
+      const noexcept {
+    return chunk_available_;
+  }
+
+  DatacenterId site() const noexcept { return site_; }
+  CpuMeter& cpu() noexcept { return cpu_; }
+  std::uint64_t polls_served() const noexcept { return polls_; }
+  std::uint64_t origin_fetches() const noexcept { return fetches_; }
+  std::uint64_t fetch_failures() const noexcept { return fetch_failures_; }
+  /// Bytes served to HLS clients (chunks + playlists).
+  std::uint64_t egress_bytes() const noexcept { return egress_bytes_; }
+
+  /// Retry policy for failed origin fetches.
+  void set_retry(DurationUs backoff, std::uint32_t max_attempts) {
+    retry_backoff_ = backoff;
+    max_attempts_ = max_attempts;
+  }
+
+ private:
+  struct Waiter {
+    std::int64_t last_seq;
+    PollCallback cb;
+  };
+
+  void respond(std::int64_t client_last_seq, const PollCallback& cb);
+  void start_fetch(std::uint32_t attempt = 1);
+
+  sim::Simulator& sim_;
+  DatacenterId site_;
+  OriginFetchFn fetch_;
+  CpuMeter cpu_;
+
+  std::vector<media::Chunk> cache_;  // ordered by seq
+  std::unordered_map<std::uint64_t, TimeUs> chunk_available_;
+  std::int64_t cached_seq_ = -1;
+  std::int64_t known_latest_seq_ = -1;
+  bool fetching_ = false;
+  std::vector<Waiter> waiters_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t fetch_failures_ = 0;
+  std::uint64_t egress_bytes_ = 0;
+  DurationUs retry_backoff_ = 250 * time::kMillisecond;
+  std::uint32_t max_attempts_ = 4;
+};
+
+}  // namespace livesim::cdn
+
+#endif  // LIVESIM_CDN_SERVERS_H

@@ -1,0 +1,306 @@
+#include "livesim/core/broadcast_session.h"
+
+#include <optional>
+#include <utility>
+
+namespace livesim::core {
+
+namespace {
+// Wire overhead per RTMP frame message (type + lengths + metadata).
+constexpr std::size_t kFrameHeaderBytes = 64;
+// Connect handshake: HTTPS token fetch + RTMP connect, sent ahead of the
+// first frame on the same FIFO uplink, so session setup delays frame 1.
+constexpr std::size_t kConnectBytes = 4096;
+// HLS poll request and playlist response sizes.
+constexpr std::size_t kPollRequestBytes = 400;
+constexpr std::size_t kPlaylistBytes = 1200;
+}  // namespace
+
+BroadcastSession::BroadcastSession(sim::Simulator& sim,
+                                   const geo::DatacenterCatalog& catalog,
+                                   SessionConfig config)
+    : sim_(sim), catalog_(catalog), config_(std::move(config)),
+      rng_(config_.seed) {
+  ingest_site_ =
+      catalog_.nearest(config_.broadcaster_location, geo::CdnRole::kIngest).id;
+  ingest_ = std::make_unique<cdn::IngestServer>(
+      sim_, ingest_site_, config_.chunker, config_.resources);
+
+  // Broadcaster uplink: last-mile profile + wide-area leg to the ingest.
+  auto uplink_params = config_.uplink;
+  const double km = geo::haversine_km(
+      config_.broadcaster_location, catalog_.get(ingest_site_).location);
+  uplink_params.link.base_delay +=
+      config_.latency.mean_delay(km) + config_.device_pipeline;
+  uplink_ = std::make_unique<net::FifoUplink>(sim_, uplink_params, rng_.fork());
+
+  source_ = std::make_unique<media::FrameSource>(config_.encoder, rng_.fork());
+}
+
+BroadcastSession::~BroadcastSession() = default;
+
+cdn::EdgeServer& BroadcastSession::edge_for(DatacenterId site) {
+  auto it = edges_.find(site.value);
+  if (it != edges_.end()) return *it->second;
+
+  cdn::W2FModel w2f(catalog_, config_.latency, config_.w2f);
+  auto fetch = [this, site, w2f](
+                   std::function<void(cdn::EdgeServer::FetchResult)> done) {
+    // Sample the origin-pull latency, then deliver a snapshot of the
+    // ingest playlist as it stands when the transfer completes.
+    const auto& playlist = ingest_->playlist();
+    const std::uint64_t bytes =
+        playlist.chunks.empty() ? 200000 : playlist.chunks.back().size_bytes;
+    Rng local = rng_.fork();
+    const DurationUs d =
+        w2f.sample_transfer(ingest_site_, site, bytes, local);
+    sim_.schedule_in(d, [this, done = std::move(done)] {
+      done(ingest_->playlist().chunks);
+    });
+  };
+
+  auto edge = std::make_unique<cdn::EdgeServer>(sim_, site, std::move(fetch),
+                                                config_.resources);
+  auto* ptr = edge.get();
+  edges_.emplace(site.value, std::move(edge));
+
+  if (config_.crawler_pollers) {
+    // The paper's measurement crawler: poll every 0.1 s with its own
+    // cursor so chunk availability timestamps are tight (§4.3).
+    auto cursor = std::make_shared<std::int64_t>(-1);
+    crawler_processes_.push_back(std::make_unique<sim::PeriodicProcess>(
+        sim_, sim_.now(), time::from_millis(100),
+        [this, ptr, cursor](sim::PeriodicProcess& proc) {
+          if (sim_.now() >
+              start_time_ + config_.broadcast_len + 20 * time::kSecond) {
+            proc.stop();
+            return;
+          }
+          ptr->on_poll(*cursor, [cursor](TimeUs, std::vector<media::Chunk> cs) {
+            for (const auto& c : cs)
+              if (static_cast<std::int64_t>(c.seq) > *cursor)
+                *cursor = static_cast<std::int64_t>(c.seq);
+          });
+        }));
+  }
+  return *ptr;
+}
+
+void BroadcastSession::start() {
+  start_time_ = sim_.now();
+  // --- broadcaster ---
+  // Connect handshake occupies the uplink before the first frame; this is
+  // why frame 1 arrives later than steady-state frames and why small
+  // pre-buffers already absorb most jitter (§6).
+  uplink_->send(kConnectBytes, [](TimeUs) {});
+
+  const DurationUs frame_interval = config_.encoder.frame_interval;
+  const auto total_frames = static_cast<std::uint64_t>(
+      config_.broadcast_len / frame_interval);
+
+  frame_process_ = std::make_unique<sim::PeriodicProcess>(
+      sim_, start_time_ + frame_interval, frame_interval,
+      [this, total_frames](sim::PeriodicProcess& proc) {
+        if (proc.ticks() > total_frames) {
+          proc.stop();
+          uplink_->send(128, [this](TimeUs) { ingest_->on_end_of_stream(); });
+          return;
+        }
+        media::VideoFrame f = source_->next(start_time_);
+        const std::size_t bytes = f.size_bytes + kFrameHeaderBytes;
+        uplink_->send(bytes, [this, f = std::move(f)](TimeUs arrival) {
+          if (f.keyframe) keyframe_arrival_.emplace(f.seq, arrival);
+          const double up = time::to_seconds(arrival - f.capture_ts);
+          rtmp_.upload_s.add(up);
+          ingest_->on_frame(f);
+        });
+      });
+
+  // Chunk bookkeeping + edge expiry fan-out.
+  ingest_->set_chunk_listener([this](const media::Chunk& c) {
+    chunk_completed_.emplace(c.seq, c.completed_ts);
+    // Per-chunk upload & chunking components (Figure 10: 6->7 via 5).
+    if (auto it = keyframe_arrival_.find(c.first_frame_seq);
+        it != keyframe_arrival_.end()) {
+      hls_.upload_s.add(time::to_seconds(it->second - c.first_capture_ts));
+      hls_.chunking_s.add(time::to_seconds(c.completed_ts - it->second));
+    }
+    for (auto& [site, edge] : edges_) {
+      const double km = catalog_.distance_km(ingest_site_, DatacenterId{site});
+      const DurationUs notice = config_.latency.sample_delay(km, rng_);
+      auto* eptr = edge.get();
+      sim_.schedule_in(notice,
+                       [eptr, seq = c.seq] { eptr->on_expire_notice(seq); });
+    }
+  });
+
+  // --- viewers ---
+  geo::UserGeoSampler geo_sampler;
+  for (std::uint32_t i = 0; i < config_.rtmp_viewers + config_.hls_viewers;
+       ++i) {
+    add_viewer(config_.global_viewers ? geo_sampler.sample(rng_)
+                                      : config_.broadcaster_location,
+               /*hls=*/i >= config_.rtmp_viewers);
+  }
+}
+
+std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
+                                         bool hls) {
+  auto v = std::make_unique<Viewer>();
+  v->hls = hls;
+  v->location = location;
+
+  auto link_params = config_.viewer_last_mile;
+  if (v->hls) {
+    v->attachment = catalog_.nearest(v->location, geo::CdnRole::kEdge).id;
+  } else {
+    // RTMP viewers always connect to the broadcaster's ingest site.
+    v->attachment = ingest_site_;
+  }
+  const double km =
+      geo::haversine_km(v->location, catalog_.get(v->attachment).location);
+  link_params.base_delay += config_.latency.mean_delay(km);
+  v->link = std::make_unique<net::Link>(sim_, link_params, rng_.fork());
+  v->playback = std::make_unique<client::PlaybackSchedule>(
+      v->hls ? config_.hls_prebuffer : config_.rtmp_prebuffer);
+
+  if (v->hls) {
+    if (first_hls_viewer_ == nullptr) first_hls_viewer_ = v.get();
+    start_hls_polling(*v);
+  } else {
+    attach_rtmp_viewer(*v);
+  }
+  viewers_.push_back(std::move(v));
+  return viewers_.size() - 1;
+}
+
+void BroadcastSession::attach_rtmp_viewer(Viewer& v) {
+  auto* viewer = &v;
+  ingest_->add_rtmp_subscriber(
+      [this, viewer](const media::VideoFrame& f, TimeUs at_ingest) {
+        if (!viewer->active) return;  // viewer left: connection torn down
+        const DurationUs d =
+            viewer->link->sample_delay(f.size_bytes + kFrameHeaderBytes);
+        sim_.schedule_in(d, [this, viewer, f, at_ingest, d] {
+          if (!viewer->active) return;
+          rtmp_.last_mile_s.add(time::to_seconds(d));
+          viewer->playback->on_arrival(at_ingest + d, f.capture_ts,
+                                       f.duration);
+        });
+      });
+}
+
+void BroadcastSession::remove_viewer(std::size_t index) {
+  auto& v = *viewers_.at(index);
+  if (!v.active) return;
+  v.active = false;
+  if (v.poll_process) v.poll_process->stop();
+}
+
+void BroadcastSession::record_hls_chunk(Viewer& v, const media::Chunk& c,
+                                        TimeUs poll_at_edge, TimeUs recv_time,
+                                        DurationUs download_delay) {
+  auto& edge = edge_for(v.attachment);
+  std::optional<TimeUs> available;
+  if (auto it = edge.availability().find(c.seq);
+      it != edge.availability().end()) {
+    available = it->second;
+    hls_.w2f_s.add(time::to_seconds(it->second - c.completed_ts));
+    const DurationUs polling =
+        poll_at_edge > it->second ? poll_at_edge - it->second : 0;
+    hls_.polling_s.add(time::to_seconds(polling));
+  }
+  hls_.last_mile_s.add(time::to_seconds(download_delay));
+  if (config_.record_journeys && &v == first_hls_viewer_) {
+    ChunkJourney j;
+    j.seq = c.seq;
+    j.captured = c.first_capture_ts;
+    j.completed = c.completed_ts;
+    j.available = available.value_or(0);
+    j.polled = poll_at_edge;
+    j.received = recv_time;
+    journeys_.push_back(j);
+  }
+  v.playback->on_arrival(recv_time, c.first_capture_ts, c.duration);
+}
+
+void BroadcastSession::start_hls_polling(Viewer& v) {
+  auto* viewer = &v;
+  auto& edge = edge_for(v.attachment);
+  auto* eptr = &edge;
+
+  // Random poll phase: viewers are not synchronized with chunk arrivals,
+  // which is exactly what makes the polling delay a uniform-ish draw over
+  // the interval (§5.2).
+  const TimeUs phase =
+      sim_.now() + static_cast<TimeUs>(rng_.uniform() *
+                                       static_cast<double>(
+                                           config_.hls_poll_interval));
+
+  v.poll_process = std::make_unique<sim::PeriodicProcess>(
+      sim_, phase, config_.hls_poll_interval,
+      [this, viewer, eptr](sim::PeriodicProcess& proc) {
+        if (sim_.now() >
+            start_time_ + config_.broadcast_len + 20 * time::kSecond) {
+          proc.stop();
+          return;
+        }
+        if (viewer->poll_outstanding) return;  // one request in flight
+        viewer->poll_outstanding = true;
+        const DurationUs req_d = viewer->link->sample_delay(kPollRequestBytes);
+        sim_.schedule_in(req_d, [this, viewer, eptr] {
+          const TimeUs poll_at_edge = sim_.now();
+          eptr->on_poll(
+              viewer->last_seq,
+              [this, viewer, poll_at_edge](TimeUs served_at,
+                                           std::vector<media::Chunk> fresh) {
+                std::uint64_t bytes = kPlaylistBytes;
+                for (const auto& c : fresh) bytes += c.size_bytes;
+                const DurationUs resp_d = viewer->link->sample_delay(bytes);
+                sim_.schedule_in(
+                    resp_d, [this, viewer, poll_at_edge, served_at, resp_d,
+                             fresh = std::move(fresh)] {
+                      const TimeUs recv = served_at + resp_d;
+                      for (const auto& c : fresh) {
+                        if (static_cast<std::int64_t>(c.seq) <=
+                            viewer->last_seq)
+                          continue;
+                        viewer->last_seq = static_cast<std::int64_t>(c.seq);
+                        record_hls_chunk(*viewer, c, poll_at_edge, recv,
+                                         resp_d);
+                      }
+                      viewer->poll_outstanding = false;
+                    });
+              });
+        });
+      });
+}
+
+void BroadcastSession::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (const auto& v : viewers_) {
+    auto& breakdown = v->hls ? hls_ : rtmp_;
+    breakdown.buffering_s.merge(v->playback->buffering_delay_s());
+  }
+}
+
+std::vector<BroadcastSession::ViewerResult>
+BroadcastSession::viewer_results() const {
+  std::vector<ViewerResult> out;
+  out.reserve(viewers_.size());
+  for (const auto& v : viewers_) {
+    ViewerResult r;
+    r.hls = v->hls;
+    r.location = v->location;
+    r.attachment = v->attachment;
+    r.stall_ratio = v->playback->stall_ratio();
+    r.mean_buffering_s = v->playback->buffering_delay_s().mean();
+    r.units_played = v->playback->units_played();
+    r.units_discarded = v->playback->units_discarded();
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace livesim::core

@@ -1,0 +1,198 @@
+// BroadcastSession: one live broadcast simulated end to end.
+//
+// Wires together the whole measured pipeline of §4:
+//
+//   broadcaster --(FIFO uplink, RTMP)--> IngestServer (nearest Wowza site)
+//     |-- push each frame --> RTMP viewers (persistent connections)
+//     |-- Chunker --> sealed chunks --> expiry notices --> EdgeServers
+//                         EdgeServer <--(poll, HLS)-- HLS viewers
+//
+// Every delay component of Figure 10 is recorded as it happens, and every
+// viewer runs the §6 playback schedule, so one session yields both the
+// Figure 11 breakdown and the Figure 16/17 buffering metrics.
+#ifndef LIVESIM_CORE_BROADCAST_SESSION_H
+#define LIVESIM_CORE_BROADCAST_SESSION_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "livesim/cdn/resource_model.h"
+#include "livesim/cdn/servers.h"
+#include "livesim/cdn/w2f.h"
+#include "livesim/client/playback.h"
+#include "livesim/core/delay_breakdown.h"
+#include "livesim/geo/datacenters.h"
+#include "livesim/media/encoder.h"
+#include "livesim/net/link.h"
+#include "livesim/sim/simulator.h"
+
+namespace livesim::core {
+
+struct SessionConfig {
+  DurationUs broadcast_len = 60 * time::kSecond;
+  media::FrameSource::Params encoder{};
+  net::FifoUplink::Params uplink = net::LastMileProfiles::stable_uplink();
+  media::Chunker::Params chunker{};
+  cdn::ResourceModel resources{};
+  cdn::W2FModel::Params w2f{};
+  geo::LatencyModel latency{};  // wide-area propagation model
+
+  geo::GeoPoint broadcaster_location{37.77, -122.42};  // San Francisco
+
+  /// Device-side capture->encode->packetize pipeline latency, part of the
+  /// paper's "upload" component (timestamp 1 is stamped at capture).
+  DurationUs device_pipeline = 180 * time::kMillisecond;
+
+  std::uint32_t rtmp_viewers = 3;
+  std::uint32_t hls_viewers = 3;
+  /// When set, viewer locations are sampled from the global user
+  /// distribution; otherwise everyone sits near the broadcaster.
+  bool global_viewers = true;
+  net::Link::Params viewer_last_mile = net::LastMileProfiles::wifi();
+
+  DurationUs hls_poll_interval = time::from_seconds(2.8);
+  DurationUs rtmp_prebuffer = 1 * time::kSecond;
+  DurationUs hls_prebuffer = 9 * time::kSecond;
+
+  /// Adds a 0.1 s poller at every edge (the paper's measurement crawler):
+  /// keeps caches fresh and records chunk availability for Fig 15.
+  bool crawler_pollers = false;
+
+  /// Records a per-chunk event ledger (the Figure 10 timestamps) for the
+  /// first HLS viewer. Small per-chunk overhead; off by default.
+  bool record_journeys = false;
+
+  std::uint64_t seed = 1;
+};
+
+class BroadcastSession {
+ public:
+  struct ViewerResult {
+    bool hls = false;
+    geo::GeoPoint location;
+    DatacenterId attachment;  // ingest (RTMP) or edge (HLS) site
+    double stall_ratio = 0.0;
+    double mean_buffering_s = 0.0;
+    std::uint64_t units_played = 0;
+    std::uint64_t units_discarded = 0;
+  };
+
+  BroadcastSession(sim::Simulator& sim, const geo::DatacenterCatalog& catalog,
+                   SessionConfig config);
+  ~BroadcastSession();
+
+  BroadcastSession(const BroadcastSession&) = delete;
+  BroadcastSession& operator=(const BroadcastSession&) = delete;
+
+  /// Schedules the whole broadcast; results are valid once the simulator
+  /// has drained (sim.run()) and finalize() has been called.
+  void start();
+
+  /// Folds per-viewer playback stats (client-buffering delay) into the
+  /// breakdowns. Call once after the simulator drains; idempotent.
+  void finalize();
+
+  /// Adds a viewer dynamically (possibly mid-broadcast). RTMP viewers
+  /// attach to the broadcaster's ingest site, HLS viewers to their
+  /// nearest edge via anycast. Returns the viewer's index.
+  std::size_t add_viewer(const geo::GeoPoint& location, bool hls);
+
+  /// Detaches a viewer: HLS polling stops, RTMP pushes are no longer
+  /// delivered. Playback stats remain queryable. Idempotent.
+  void remove_viewer(std::size_t index);
+
+  std::size_t viewer_count() const noexcept { return viewers_.size(); }
+
+  /// Live playback state of a viewer (for feedback/interaction models).
+  const client::PlaybackSchedule& viewer_playback(std::size_t index) const {
+    return *viewers_.at(index)->playback;
+  }
+  bool viewer_is_hls(std::size_t index) const {
+    return viewers_.at(index)->hls;
+  }
+
+  // --- results ---
+  const DelayBreakdown& rtmp_breakdown() const noexcept { return rtmp_; }
+  const DelayBreakdown& hls_breakdown() const noexcept { return hls_; }
+  std::vector<ViewerResult> viewer_results() const;
+
+  const cdn::IngestServer& ingest() const noexcept { return *ingest_; }
+  cdn::IngestServer& ingest() noexcept { return *ingest_; }
+  DatacenterId ingest_site() const noexcept { return ingest_site_; }
+
+  /// Edge servers created by this session (keyed by datacenter id).
+  const std::unordered_map<std::uint64_t, std::unique_ptr<cdn::EdgeServer>>&
+  edges() const noexcept {
+    return edges_;
+  }
+
+  /// Chunk completion times at the ingest, by chunk seq (Fig 15 numerator).
+  const std::unordered_map<std::uint64_t, TimeUs>& chunk_completed_at()
+      const noexcept {
+    return chunk_completed_;
+  }
+
+  /// One chunk's trip through the Figure 10 timestamps (HLS path), as
+  /// observed by the first HLS viewer. Populated when
+  /// SessionConfig::record_journeys is set.
+  struct ChunkJourney {
+    std::uint64_t seq = 0;
+    TimeUs captured = 0;        // (5) first frame leaves the camera
+    TimeUs completed = 0;       // (7) chunk sealed at the ingest
+    TimeUs available = 0;       // (11) cached at the viewer's edge
+    TimeUs polled = 0;          // (14) the poll that found it hits the edge
+    TimeUs received = 0;        // (15) response lands on the viewer
+  };
+  const std::vector<ChunkJourney>& journeys() const noexcept {
+    return journeys_;
+  }
+
+ private:
+  struct Viewer {
+    bool hls = false;
+    bool active = true;
+    geo::GeoPoint location;
+    DatacenterId attachment{};
+    std::unique_ptr<net::Link> link;
+    std::unique_ptr<client::PlaybackSchedule> playback;
+    std::unique_ptr<sim::PeriodicProcess> poll_process;  // HLS only
+    std::int64_t last_seq = -1;
+    bool poll_outstanding = false;
+  };
+
+  cdn::EdgeServer& edge_for(DatacenterId site);
+  void attach_rtmp_viewer(Viewer& v);
+  void start_hls_polling(Viewer& v);
+  void record_hls_chunk(Viewer& v, const media::Chunk& c, TimeUs poll_at_edge,
+                        TimeUs recv_time, DurationUs download_delay);
+
+  sim::Simulator& sim_;
+  const geo::DatacenterCatalog& catalog_;
+  SessionConfig config_;
+  Rng rng_;
+  TimeUs start_time_ = 0;  // set by start(); media clock origin
+
+  DatacenterId ingest_site_{};
+  std::unique_ptr<cdn::IngestServer> ingest_;
+  std::unique_ptr<net::FifoUplink> uplink_;
+  std::unique_ptr<media::FrameSource> source_;
+  std::unique_ptr<sim::PeriodicProcess> frame_process_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<cdn::EdgeServer>> edges_;
+  std::vector<std::unique_ptr<sim::PeriodicProcess>> crawler_processes_;
+  std::vector<std::unique_ptr<Viewer>> viewers_;
+  Viewer* first_hls_viewer_ = nullptr;  // journey-ledger subject
+
+  // Measurement state.
+  bool finalized_ = false;
+  DelayBreakdown rtmp_;
+  DelayBreakdown hls_;
+  std::unordered_map<std::uint64_t, TimeUs> keyframe_arrival_;  // frame seq
+  std::unordered_map<std::uint64_t, TimeUs> chunk_completed_;   // chunk seq
+  std::vector<ChunkJourney> journeys_;
+};
+
+}  // namespace livesim::core
+
+#endif  // LIVESIM_CORE_BROADCAST_SESSION_H

@@ -1,0 +1,41 @@
+// End-to-end delay decomposition (Figure 10 / Figure 11).
+//
+// RTMP path:  upload -> last-mile -> client-buffering.
+// HLS path:   upload -> chunking -> Wowza2Fastly -> polling -> last-mile
+//             -> client-buffering.
+#ifndef LIVESIM_CORE_DELAY_BREAKDOWN_H
+#define LIVESIM_CORE_DELAY_BREAKDOWN_H
+
+#include <string>
+
+#include "livesim/stats/accumulator.h"
+
+namespace livesim::core {
+
+struct DelayBreakdown {
+  stats::Accumulator upload_s;
+  stats::Accumulator chunking_s;   // HLS only
+  stats::Accumulator w2f_s;        // HLS only
+  stats::Accumulator polling_s;    // HLS only
+  stats::Accumulator last_mile_s;
+  stats::Accumulator buffering_s;
+
+  /// Sum of component means = expected end-to-end delay in seconds.
+  double total_s() const noexcept {
+    return upload_s.mean() + chunking_s.mean() + w2f_s.mean() +
+           polling_s.mean() + last_mile_s.mean() + buffering_s.mean();
+  }
+
+  void merge(const DelayBreakdown& o) {
+    upload_s.merge(o.upload_s);
+    chunking_s.merge(o.chunking_s);
+    w2f_s.merge(o.w2f_s);
+    polling_s.merge(o.polling_s);
+    last_mile_s.merge(o.last_mile_s);
+    buffering_s.merge(o.buffering_s);
+  }
+};
+
+}  // namespace livesim::core
+
+#endif  // LIVESIM_CORE_DELAY_BREAKDOWN_H

@@ -1,0 +1,28 @@
+#include "livesim/core/notifications.h"
+
+namespace livesim::core {
+
+NotificationService::NotificationService(sim::Simulator& sim,
+                                         const social::Graph& graph,
+                                         LivestreamService& service,
+                                         Params params, Rng rng)
+    : sim_(sim), graph_(graph), service_(service), params_(params),
+      rng_(rng) {}
+
+void NotificationService::broadcast_started(std::uint32_t broadcaster,
+                                            BroadcastId id) {
+  for (std::uint32_t follower : graph_.followers_of(broadcaster)) {
+    (void)follower;  // identity only matters for the join decision below
+    ++sent_;
+    if (!rng_.bernoulli(params_.join_probability)) continue;
+    const DurationUs when = static_cast<DurationUs>(
+        rng_.exponential(static_cast<double>(params_.mean_delivery)) +
+        rng_.exponential(static_cast<double>(params_.mean_reaction)));
+    const geo::GeoPoint where = geo_.sample(rng_);
+    sim_.schedule_in(when, [this, id, where] {
+      if (service_.join(id, where)) ++joins_;
+    });
+  }
+}
+
+}  // namespace livesim::core

@@ -1,0 +1,51 @@
+// Follower notifications -- the audience-acquisition mechanism of §2.1:
+// "When a user starts a broadcast, all her followers will receive
+// notifications", which is why follower count drives viewership (Fig 7)
+// and why celebrities arrive with a built-in audience.
+//
+// NotificationService fans a broadcast-start event out over the follow
+// graph; each notified follower opens the app with some probability after
+// a human reaction delay and joins through the normal service path
+// (first-come RTMP slots and all).
+#ifndef LIVESIM_CORE_NOTIFICATIONS_H
+#define LIVESIM_CORE_NOTIFICATIONS_H
+
+#include "livesim/core/service.h"
+#include "livesim/social/graph.h"
+
+namespace livesim::core {
+
+class NotificationService {
+ public:
+  struct Params {
+    DurationUs mean_delivery = 2 * time::kSecond;   // push-notification lag
+    DurationUs mean_reaction = 20 * time::kSecond;  // human opens the app
+    double join_probability = 0.03;                 // per notified follower
+  };
+
+  /// `graph` must have build_reverse() called; node u's id doubles as
+  /// UserId u. Lifetimes: graph and service must outlive this object.
+  NotificationService(sim::Simulator& sim, const social::Graph& graph,
+                      LivestreamService& service, Params params, Rng rng);
+
+  /// Fans out notifications for `broadcaster`'s new broadcast; joiners
+  /// appear over the next ~minute via the service's join path.
+  void broadcast_started(std::uint32_t broadcaster, BroadcastId id);
+
+  std::uint64_t notifications_sent() const noexcept { return sent_; }
+  std::uint64_t joins_driven() const noexcept { return joins_; }
+
+ private:
+  sim::Simulator& sim_;
+  const social::Graph& graph_;
+  LivestreamService& service_;
+  Params params_;
+  Rng rng_;
+  geo::UserGeoSampler geo_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t joins_ = 0;
+};
+
+}  // namespace livesim::core
+
+#endif  // LIVESIM_CORE_NOTIFICATIONS_H

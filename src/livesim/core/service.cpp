@@ -1,0 +1,169 @@
+#include "livesim/core/service.h"
+
+namespace livesim::core {
+
+LivestreamService::LivestreamService(sim::Simulator& sim,
+                                     const geo::DatacenterCatalog& catalog,
+                                     Config config)
+    : sim_(sim), catalog_(catalog), config_(std::move(config)),
+      rng_(config_.seed) {}
+
+LivestreamService::~LivestreamService() = default;
+
+BroadcastId LivestreamService::start_broadcast(const geo::GeoPoint& location,
+                                               DurationUs length) {
+  return start_broadcast_impl(location, length, /*is_private=*/false, {});
+}
+
+BroadcastId LivestreamService::start_private_broadcast(
+    const geo::GeoPoint& location, DurationUs length,
+    std::vector<UserId> invitees) {
+  return start_broadcast_impl(location, length, /*is_private=*/true,
+                              std::move(invitees));
+}
+
+BroadcastId LivestreamService::start_broadcast_impl(
+    const geo::GeoPoint& location, DurationUs length, bool is_private,
+    std::vector<UserId> invitees) {
+  const BroadcastId id{next_id_++};
+  auto b = std::make_unique<Broadcast>();
+  b->info.id = id;
+  b->info.broadcaster_location = location;
+  b->info.started_at = sim_.now();
+  b->info.length = length;
+  b->info.live = true;
+  b->info.is_private = is_private;
+  b->info.encrypted_transport = is_private;  // RTMPS for private streams
+  for (UserId u : invitees) b->invitees.insert(u.value);
+  b->commenters = msg::CommenterPolicy(config_.commenter_cap);
+
+  SessionConfig cfg = config_.session_defaults;
+  cfg.broadcast_len = length;
+  cfg.broadcaster_location = location;
+  cfg.rtmp_viewers = 0;  // viewers join dynamically
+  cfg.hls_viewers = 0;
+  cfg.seed = rng_.next_u64();
+  b->session = std::make_unique<BroadcastSession>(sim_, catalog_, cfg);
+  b->session->start();
+
+  b->channel = std::make_unique<msg::Channel>(sim_);
+  // Broadcaster subscribes to their own channel for hearts/comments.
+  auto link = config_.session_defaults.viewer_last_mile;
+  b->broadcaster_msg_link =
+      std::make_unique<net::Link>(sim_, link, rng_.fork());
+  auto* braw = b.get();
+  b->channel->subscribe(
+      b->broadcaster_msg_link.get(),
+      [this, braw](const msg::Message& m, TimeUs delivered_at) {
+        // Feedback lag: the broadcaster is live at `delivered_at`; the
+        // reaction refers to `reacts_to_media_ts` on the stream clock.
+        const double lag =
+            time::to_seconds(delivered_at - m.reacts_to_media_ts);
+        (m.text == "rtmp" ? rtmp_lag_ : hls_lag_).add(lag);
+        if (m.type == msg::MessageType::kHeart) ++braw->info.hearts;
+      });
+
+  if (!is_private) list_.broadcast_started(id);  // private: never listed
+  sim_.schedule_in(length, [this, id] {
+    list_.broadcast_ended(id);
+    if (auto it = broadcasts_.find(id.value); it != broadcasts_.end())
+      it->second->info.live = false;
+  });
+
+  broadcasts_.emplace(id.value, std::move(b));
+  return id;
+}
+
+LivestreamService::Broadcast* LivestreamService::live_broadcast(
+    BroadcastId id) {
+  auto it = broadcasts_.find(id.value);
+  if (it == broadcasts_.end() || !it->second->info.live) return nullptr;
+  return it->second.get();
+}
+
+std::optional<LivestreamService::ViewerHandle> LivestreamService::join(
+    BroadcastId id, const geo::GeoPoint& location) {
+  return join_as(id, UserId{}, location);
+}
+
+std::optional<LivestreamService::ViewerHandle> LivestreamService::join_as(
+    BroadcastId id, UserId viewer, const geo::GeoPoint& location) {
+  Broadcast* b = live_broadcast(id);
+  if (b == nullptr) return std::nullopt;
+  if (b->info.is_private &&
+      (!viewer.valid() || b->invitees.count(viewer.value) == 0))
+    return std::nullopt;  // not on the invite list
+
+  ViewerHandle handle;
+  handle.broadcast = id;
+  // First-come slot policy: early joiners get the low-delay RTMP path.
+  handle.rtmp = b->info.rtmp_viewers < config_.rtmp_slot_cap;
+  handle.can_comment = handle.rtmp && b->commenters.admit_commenter();
+  handle.viewer_index = b->session->add_viewer(location, !handle.rtmp);
+  (handle.rtmp ? b->info.rtmp_viewers : b->info.hls_viewers) += 1;
+  return handle;
+}
+
+void LivestreamService::leave(const ViewerHandle& viewer) {
+  auto it = broadcasts_.find(viewer.broadcast.value);
+  if (it == broadcasts_.end()) return;
+  it->second->session->remove_viewer(viewer.viewer_index);
+}
+
+void LivestreamService::deliver_feedback(Broadcast& b, const msg::Message& m,
+                                         bool) {
+  b.channel->publish(m);
+}
+
+void LivestreamService::send_heart(const ViewerHandle& viewer) {
+  Broadcast* b = live_broadcast(viewer.broadcast);
+  if (b == nullptr) return;
+  const auto& playback = b->session->viewer_playback(viewer.viewer_index);
+  const auto position = playback.media_position(sim_.now());
+  if (!position) return;  // still pre-buffering: nothing on screen yet
+
+  msg::Message m;
+  m.type = msg::MessageType::kHeart;
+  m.sent_at = sim_.now();
+  // Capture timestamps are absolute simulation time already.
+  m.reacts_to_media_ts = *position;
+  m.text = viewer.rtmp ? "rtmp" : "hls";  // path tag for lag attribution
+  deliver_feedback(*b, m, viewer.rtmp);
+}
+
+bool LivestreamService::send_comment(const ViewerHandle& viewer,
+                                     const std::string& text) {
+  Broadcast* b = live_broadcast(viewer.broadcast);
+  if (b == nullptr) return false;
+  if (!viewer.can_comment) {
+    ++comments_rejected_;  // "Broadcast is too full" (the paper's §1 hacks)
+    return false;
+  }
+  const auto& playback = b->session->viewer_playback(viewer.viewer_index);
+  const auto position = playback.media_position(sim_.now());
+  if (!position) return false;
+
+  msg::Message m;
+  m.type = msg::MessageType::kComment;
+  m.sent_at = sim_.now();
+  m.reacts_to_media_ts = *position;
+  m.text = viewer.rtmp ? "rtmp" : "hls";
+  (void)text;  // content is not modeled, only metadata (as in the crawl)
+  ++b->info.comments;
+  deliver_feedback(*b, m, viewer.rtmp);
+  return true;
+}
+
+std::optional<LivestreamService::BroadcastInfo> LivestreamService::info(
+    BroadcastId id) const {
+  auto it = broadcasts_.find(id.value);
+  if (it == broadcasts_.end()) return std::nullopt;
+  return it->second->info;
+}
+
+BroadcastSession* LivestreamService::session(BroadcastId id) {
+  auto it = broadcasts_.find(id.value);
+  return it == broadcasts_.end() ? nullptr : it->second->session.get();
+}
+
+}  // namespace livesim::core

@@ -1,0 +1,154 @@
+// LivestreamService: the whole application, dynamically.
+//
+// Manages many concurrent broadcasts the way Periscope does: a global
+// public list of live broadcasts, an ingest assignment per broadcaster,
+// the "first N viewers get RTMP + comment rights" admission policy with
+// HLS overflow, and a PubNub-style message channel per broadcast carrying
+// hearts and comments whose *feedback lag* (how stale the moment a viewer
+// reacted to is by the time the broadcaster sees the reaction) is tracked
+// -- the quantity the paper's introduction argues makes or breaks
+// interactivity.
+#ifndef LIVESIM_CORE_SERVICE_H
+#define LIVESIM_CORE_SERVICE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "livesim/core/broadcast_session.h"
+#include "livesim/crawler/crawler.h"
+#include "livesim/msg/pubsub.h"
+#include "livesim/stats/accumulator.h"
+
+namespace livesim::core {
+
+class LivestreamService {
+ public:
+  struct Config {
+    std::uint32_t rtmp_slot_cap = 100;    // the paper's first-100 policy
+    std::uint32_t commenter_cap = 100;
+    SessionConfig session_defaults{};     // viewer counts ignored; dynamic
+    std::uint64_t seed = 1;
+  };
+
+  struct ViewerHandle {
+    BroadcastId broadcast{};
+    std::size_t viewer_index = 0;
+    bool rtmp = false;         // low-latency path?
+    bool can_comment = false;  // within the commenter cap?
+    bool valid() const noexcept { return broadcast.valid(); }
+  };
+
+  struct BroadcastInfo {
+    BroadcastId id{};
+    geo::GeoPoint broadcaster_location{};
+    TimeUs started_at = 0;
+    DurationUs length = 0;
+    bool live = false;
+    // Private broadcasts (§2.1): invite-only, and -- per §7.2 -- the one
+    // place Periscope pays for RTMPS, so they are tamper-proof.
+    bool is_private = false;
+    bool encrypted_transport = false;
+    std::uint32_t rtmp_viewers = 0;
+    std::uint32_t hls_viewers = 0;
+    std::uint64_t hearts = 0;
+    std::uint64_t comments = 0;
+  };
+
+  LivestreamService(sim::Simulator& sim, const geo::DatacenterCatalog& catalog,
+                    Config config);
+  ~LivestreamService();
+
+  LivestreamService(const LivestreamService&) = delete;
+  LivestreamService& operator=(const LivestreamService&) = delete;
+
+  /// Starts a broadcast now; it appears on the global list until it ends.
+  BroadcastId start_broadcast(const geo::GeoPoint& location,
+                              DurationUs length);
+
+  /// Starts a private broadcast: only `invitees` may join, it never
+  /// appears on the global list, and video rides RTMPS (§7.2 -- "for
+  /// scalability, Periscope uses RTMP/HLS for all public broadcasts and
+  /// only uses RTMPS for private broadcasts").
+  BroadcastId start_private_broadcast(const geo::GeoPoint& location,
+                                      DurationUs length,
+                                      std::vector<UserId> invitees);
+
+  /// A viewer joins a live broadcast: the first `rtmp_slot_cap` joiners
+  /// get the RTMP path (and, within `commenter_cap`, comment rights);
+  /// everyone after lands on HLS. Returns nullopt if the broadcast is not
+  /// live.
+  std::optional<ViewerHandle> join(BroadcastId id,
+                                   const geo::GeoPoint& location);
+
+  /// Identity-carrying join: required for private broadcasts (the viewer
+  /// must be on the invite list); equivalent to join() for public ones.
+  std::optional<ViewerHandle> join_as(BroadcastId id, UserId viewer,
+                                      const geo::GeoPoint& location);
+
+  /// Viewer leaves the broadcast (their RTMP slot is not recycled -- the
+  /// paper: only "the first 100 to join" ever get the low-delay path).
+  void leave(const ViewerHandle& viewer);
+
+  /// Viewer taps a heart: reacts to the media moment on their screen; the
+  /// broadcaster receives it over the message channel and the service
+  /// records the feedback lag (broadcaster's live position minus the
+  /// reacted-to moment at receipt).
+  void send_heart(const ViewerHandle& viewer);
+
+  /// Viewer posts a comment (ignored unless the handle has comment
+  /// rights -- the cap the paper criticizes).
+  bool send_comment(const ViewerHandle& viewer, const std::string& text);
+
+  // --- introspection ---
+  const crawler::GlobalList& global_list() const noexcept { return list_; }
+  std::optional<BroadcastInfo> info(BroadcastId id) const;
+  BroadcastSession* session(BroadcastId id);
+
+  /// Feedback lag (seconds) across all hearts delivered so far, split by
+  /// the sender's delivery path.
+  const stats::Accumulator& rtmp_feedback_lag_s() const noexcept {
+    return rtmp_lag_;
+  }
+  const stats::Accumulator& hls_feedback_lag_s() const noexcept {
+    return hls_lag_;
+  }
+  std::uint64_t comments_rejected() const noexcept {
+    return comments_rejected_;
+  }
+
+ private:
+  struct Broadcast {
+    BroadcastInfo info;
+    std::unique_ptr<BroadcastSession> session;
+    std::unique_ptr<msg::Channel> channel;
+    std::unique_ptr<net::Link> broadcaster_msg_link;
+    msg::CommenterPolicy commenters{100};
+    std::unordered_set<std::uint64_t> invitees;  // private broadcasts only
+  };
+
+  BroadcastId start_broadcast_impl(const geo::GeoPoint& location,
+                                   DurationUs length, bool is_private,
+                                   std::vector<UserId> invitees);
+
+  Broadcast* live_broadcast(BroadcastId id);
+  void deliver_feedback(Broadcast& b, const msg::Message& m, bool via_rtmp);
+
+  sim::Simulator& sim_;
+  const geo::DatacenterCatalog& catalog_;
+  Config config_;
+  Rng rng_;
+  crawler::GlobalList list_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Broadcast>> broadcasts_;
+  std::uint64_t next_id_ = 0;
+  stats::Accumulator rtmp_lag_;
+  stats::Accumulator hls_lag_;
+  std::uint64_t comments_rejected_ = 0;
+};
+
+}  // namespace livesim::core
+
+#endif  // LIVESIM_CORE_SERVICE_H

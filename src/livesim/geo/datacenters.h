@@ -1,0 +1,88 @@
+// Datacenter catalogs for the paper's measured CDN footprint (Figure 9):
+// 8 Wowza ingest sites on Amazon EC2 and 23 Fastly edge sites (the 2015
+// footprint, i.e. before the Dec-2015 Perth/Wellington/Sao-Paulo adds the
+// paper explicitly excludes). 6 of 8 Wowza sites are co-located with a
+// Fastly site in the same city, 7 of 8 on the same continent, with South
+// America the exception -- matching the paper's observation.
+#ifndef LIVESIM_GEO_DATACENTERS_H
+#define LIVESIM_GEO_DATACENTERS_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "livesim/geo/geo.h"
+#include "livesim/util/ids.h"
+
+namespace livesim::geo {
+
+enum class Continent {
+  kNorthAmerica,
+  kSouthAmerica,
+  kEurope,
+  kAsia,
+  kOceania,
+};
+
+enum class CdnRole { kIngest, kEdge };  // Wowza-like vs Fastly-like
+
+struct Datacenter {
+  DatacenterId id;
+  std::string city;
+  Continent continent;
+  GeoPoint location;
+  CdnRole role;
+};
+
+/// The full catalog: ids are stable across runs (index order below).
+class DatacenterCatalog {
+ public:
+  /// Builds the paper-era catalog (8 ingest + 23 edge).
+  static DatacenterCatalog paper_footprint();
+
+  /// A reduced single-region footprint, handy for unit tests.
+  static DatacenterCatalog single_site();
+
+  const std::vector<Datacenter>& all() const noexcept { return dcs_; }
+  const Datacenter& get(DatacenterId id) const;
+
+  std::vector<const Datacenter*> ingest_sites() const;
+  std::vector<const Datacenter*> edge_sites() const;
+
+  /// Nearest datacenter of a role to a point (how Periscope assigns
+  /// broadcasters to Wowza, and IP anycast assigns viewers to Fastly).
+  const Datacenter& nearest(const GeoPoint& p, CdnRole role) const;
+
+  /// Edge site co-located (same city) with the given ingest site, if any.
+  /// Returns nullptr for the South-America exception.
+  const Datacenter* colocated_edge(DatacenterId ingest) const;
+
+  /// Distance between two catalog datacenters in km.
+  double distance_km(DatacenterId a, DatacenterId b) const;
+
+ private:
+  void add(std::string city, Continent cont, double lat, double lon,
+           CdnRole role);
+
+  std::vector<Datacenter> dcs_;
+};
+
+/// Random user-location sampler weighted by the paper-era user base:
+/// concentrated in North America and Europe, with Asia/Oceania/South
+/// America tails. Used to place broadcasters and viewers.
+class UserGeoSampler {
+ public:
+  GeoPoint sample(Rng& rng) const;
+
+ private:
+  struct Region {
+    GeoPoint center;
+    double spread_deg;
+    double weight;
+  };
+  static const std::vector<Region>& regions();
+};
+
+}  // namespace livesim::geo
+
+#endif  // LIVESIM_GEO_DATACENTERS_H

@@ -1,0 +1,52 @@
+// Geographic primitives: coordinates, great-circle distance, and a
+// distance -> network latency model used for all wide-area links.
+#ifndef LIVESIM_GEO_GEO_H
+#define LIVESIM_GEO_GEO_H
+
+#include <string>
+
+#include "livesim/util/rng.h"
+#include "livesim/util/time.h"
+
+namespace livesim::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Wide-area latency model.
+///
+/// One-way delay = base processing + distance / (c * fiber_factor) *
+/// route_inflation + jitter. The defaults give ~35 ms one-way across the
+/// US and ~90 ms transatlantic-to-Asia, consistent with the RTT scales the
+/// paper's CDN measurements imply.
+class LatencyModel {
+ public:
+  struct Params {
+    DurationUs base = time::from_millis(2.0);   // per-hop processing floor
+    double km_per_ms = 100.0;                   // ~0.5c effective + routing
+    double jitter_fraction = 0.10;              // lognormal-ish spread
+  };
+
+  LatencyModel() = default;
+  explicit LatencyModel(Params p) : params_(p) {}
+
+  /// Deterministic mean one-way propagation delay for a distance.
+  DurationUs mean_delay(double distance_km) const noexcept;
+
+  /// Sampled one-way delay with jitter (never below base).
+  DurationUs sample_delay(double distance_km, Rng& rng) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+}  // namespace livesim::geo
+
+#endif  // LIVESIM_GEO_GEO_H

@@ -1,0 +1,55 @@
+// Video frame and chunk value types.
+//
+// RTMP operates on individual ~40 ms frames; HLS groups them into ~3 s
+// chunks (the paper: >85.9% of HLS broadcasts use 3 s chunks = 75 frames).
+#ifndef LIVESIM_MEDIA_FRAME_H
+#define LIVESIM_MEDIA_FRAME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "livesim/util/time.h"
+
+namespace livesim::media {
+
+struct VideoFrame {
+  std::uint64_t seq = 0;
+  TimeUs capture_ts = 0;        // stamped by the broadcaster device
+  DurationUs duration = 40 * time::kMillisecond;
+  std::uint32_t size_bytes = 0;
+  bool keyframe = false;
+
+  /// Optional payload bytes; populated only on the byte-level (security)
+  /// code paths to keep the large-scale delay simulations lean.
+  std::vector<std::uint8_t> payload;
+
+  /// Optional authentication tag (see security::StreamSigner). Empty when
+  /// the stream is unsigned -- which is exactly the paper's vulnerability.
+  std::vector<std::uint8_t> signature;
+};
+
+struct Chunk {
+  std::uint64_t seq = 0;             // media sequence number
+  TimeUs first_capture_ts = 0;       // capture time of the first frame
+  TimeUs completed_ts = 0;           // when the chunker sealed the chunk
+  DurationUs duration = 0;           // sum of frame durations
+  std::uint64_t first_frame_seq = 0;
+  std::uint32_t frame_count = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+/// HLS playlist: the window of chunks a viewer can currently fetch.
+struct ChunkList {
+  std::uint64_t version = 0;         // bumped on every new chunk
+  DurationUs target_duration = 3 * time::kSecond;
+  std::vector<Chunk> chunks;         // sliding window, oldest first
+
+  /// Highest media sequence present, or -1 if empty.
+  std::int64_t latest_seq() const noexcept {
+    return chunks.empty() ? -1 : static_cast<std::int64_t>(chunks.back().seq);
+  }
+};
+
+}  // namespace livesim::media
+
+#endif  // LIVESIM_MEDIA_FRAME_H

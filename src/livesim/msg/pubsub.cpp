@@ -1,0 +1,16 @@
+#include "livesim/msg/pubsub.h"
+
+namespace livesim::msg {
+
+void Channel::publish(const Message& m) {
+  ++published_;
+  const std::size_t bytes = 200 + m.text.size();
+  for (auto& sub : subscribers_) {
+    const DurationUs d = sub.link->sample_delay(bytes);
+    sim_.schedule_in(d, [m, handler = sub.handler, at = sim_.now() + d] {
+      handler(m, at);
+    });
+  }
+}
+
+}  // namespace livesim::msg

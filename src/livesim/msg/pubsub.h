@@ -1,0 +1,88 @@
+// Message channel (comments & hearts), the PubNub side of Figure 8.
+//
+// Messages travel independently of video: a viewer's heart reaches the
+// broadcaster in ~a message RTT, but it *reacts to video the viewer saw
+// end-to-end-delay ago*. The feedback lag experiment quantifies the
+// "delayed hearts" problem the introduction motivates.
+#ifndef LIVESIM_MSG_PUBSUB_H
+#define LIVESIM_MSG_PUBSUB_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "livesim/net/link.h"
+#include "livesim/sim/simulator.h"
+#include "livesim/util/ids.h"
+
+namespace livesim::msg {
+
+enum class MessageType : std::uint8_t { kComment, kHeart };
+
+struct Message {
+  MessageType type = MessageType::kHeart;
+  UserId from{};
+  TimeUs sent_at = 0;
+  /// Capture timestamp of the video moment the sender was watching when
+  /// they reacted -- the key to measuring feedback lag.
+  TimeUs reacts_to_media_ts = 0;
+  std::string text;
+};
+
+/// One pub/sub channel per broadcast. Subscribers receive every published
+/// message after their own delivery-link delay.
+class Channel {
+ public:
+  using Handler = std::function<void(const Message&, TimeUs delivered_at)>;
+
+  explicit Channel(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Subscribes with a delivery link (owned by the caller, must outlive
+  /// the channel's use).
+  void subscribe(net::Link* link, Handler handler) {
+    subscribers_.push_back({link, std::move(handler)});
+  }
+
+  void publish(const Message& m);
+
+  std::uint64_t published() const noexcept { return published_; }
+
+ private:
+  struct Subscriber {
+    net::Link* link;
+    Handler handler;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t published_ = 0;
+};
+
+/// Commenter admission: Periscope lets only the first `cap` joiners
+/// comment; everyone can send hearts.
+class CommenterPolicy {
+ public:
+  explicit CommenterPolicy(std::uint32_t cap) : cap_(cap) {}
+
+  /// Called in join order; returns whether this viewer may comment.
+  bool admit_commenter() {
+    if (cap_ == 0) return true;  // uncapped service (Meerkat)
+    if (admitted_ < cap_) {
+      ++admitted_;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint32_t admitted() const noexcept { return admitted_; }
+  std::uint32_t cap() const noexcept { return cap_; }
+
+ private:
+  std::uint32_t cap_;
+  std::uint32_t admitted_ = 0;
+};
+
+}  // namespace livesim::msg
+
+#endif  // LIVESIM_MSG_PUBSUB_H

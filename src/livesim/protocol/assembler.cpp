@@ -1,0 +1,42 @@
+#include "livesim/protocol/assembler.h"
+
+namespace livesim::protocol {
+
+std::vector<RtmpMessage> MessageAssembler::feed(
+    std::span<const std::uint8_t> fragment) {
+  std::vector<RtmpMessage> out;
+  if (corrupted_) return out;
+  buffer_.insert(buffer_.end(), fragment.begin(), fragment.end());
+
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 5) {  // type byte + u32 length
+    const std::uint8_t type = buffer_[pos];
+    if (type < static_cast<std::uint8_t>(RtmpMessageType::kConnect) ||
+        type > static_cast<std::uint8_t>(RtmpMessageType::kEndOfStream)) {
+      corrupted_ = true;
+      buffer_.clear();
+      return out;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len = (len << 8) | buffer_[pos + 1 + i];
+    if (len > kMaxBody) {
+      corrupted_ = true;
+      buffer_.clear();
+      return out;
+    }
+    if (buffer_.size() - pos < 5u + len) break;  // body incomplete
+
+    RtmpMessage msg;
+    msg.type = static_cast<RtmpMessageType>(type);
+    msg.body.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos + 5),
+                    buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(pos + 5 + len));
+    out.push_back(std::move(msg));
+    ++emitted_;
+    pos += 5u + len;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+}  // namespace livesim::protocol

@@ -1,0 +1,41 @@
+// TCP-stream message reassembly.
+//
+// RTMP rides a byte stream: the receiver sees arbitrary segment
+// boundaries, not message boundaries. MessageAssembler buffers fragments
+// and emits complete messages in order -- the piece every byte-level
+// consumer (ingest front-end, MITM attacker, tests) needs to handle real
+// segmentation instead of assuming one-message-per-read.
+#ifndef LIVESIM_PROTOCOL_ASSEMBLER_H
+#define LIVESIM_PROTOCOL_ASSEMBLER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "livesim/protocol/rtmp.h"
+
+namespace livesim::protocol {
+
+class MessageAssembler {
+ public:
+  /// Upper bound on a single message body; a length prefix beyond this is
+  /// treated as stream corruption (connection would be torn down).
+  static constexpr std::uint32_t kMaxBody = 16 * 1024 * 1024;
+
+  /// Appends a fragment and returns every message completed by it.
+  /// After corruption, feed() returns nothing and corrupted() stays set.
+  std::vector<RtmpMessage> feed(std::span<const std::uint8_t> fragment);
+
+  bool corrupted() const noexcept { return corrupted_; }
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+  std::uint64_t messages_emitted() const noexcept { return emitted_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  bool corrupted_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace livesim::protocol
+
+#endif  // LIVESIM_PROTOCOL_ASSEMBLER_H

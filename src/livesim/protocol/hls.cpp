@@ -1,0 +1,77 @@
+#include "livesim/protocol/hls.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace livesim::protocol {
+
+std::string render_playlist(const media::ChunkList& list,
+                            const std::string& chunk_url_prefix) {
+  std::ostringstream os;
+  os << "#EXTM3U\n";
+  os << "#EXT-X-VERSION:3\n";
+  os << "#EXT-X-TARGETDURATION:"
+     << (list.target_duration + time::kSecond - 1) / time::kSecond << "\n";
+  const std::uint64_t media_seq =
+      list.chunks.empty() ? 0 : list.chunks.front().seq;
+  os << "#EXT-X-MEDIA-SEQUENCE:" << media_seq << "\n";
+  os << "#EXT-X-LIVESIM-PLAYLIST-VERSION:" << list.version << "\n";
+  for (const auto& c : list.chunks) {
+    char extinf[64];
+    std::snprintf(extinf, sizeof extinf, "#EXTINF:%.3f,",
+                  time::to_seconds(c.duration));
+    os << extinf << "\n";
+    os << "#EXT-X-LIVESIM-META:" << c.seq << ":" << c.first_capture_ts << ":"
+       << c.completed_ts << ":" << c.first_frame_seq << ":" << c.frame_count
+       << ":" << c.size_bytes << "\n";
+    os << chunk_url_prefix << c.seq << ".ts\n";
+  }
+  return os.str();
+}
+
+std::optional<media::ChunkList> parse_playlist(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "#EXTM3U") return std::nullopt;
+
+  media::ChunkList list;
+  bool have_target = false;
+  media::Chunk pending;
+  bool have_meta = false;
+  double pending_duration_s = 0.0;
+  bool have_extinf = false;
+
+  while (std::getline(is, line)) {
+    if (line.rfind("#EXT-X-TARGETDURATION:", 0) == 0) {
+      list.target_duration =
+          std::stoll(line.substr(22)) * time::kSecond;
+      have_target = true;
+    } else if (line.rfind("#EXT-X-LIVESIM-PLAYLIST-VERSION:", 0) == 0) {
+      list.version = std::stoull(line.substr(32));
+    } else if (line.rfind("#EXTINF:", 0) == 0) {
+      const auto comma = line.find(',');
+      if (comma == std::string::npos) return std::nullopt;
+      pending_duration_s = std::stod(line.substr(8, comma - 8));
+      have_extinf = true;
+    } else if (line.rfind("#EXT-X-LIVESIM-META:", 0) == 0) {
+      std::istringstream meta(line.substr(20));
+      char sep = 0;
+      meta >> pending.seq >> sep >> pending.first_capture_ts >> sep >>
+          pending.completed_ts >> sep >> pending.first_frame_seq >> sep >>
+          pending.frame_count >> sep >> pending.size_bytes;
+      if (meta.fail()) return std::nullopt;
+      have_meta = true;
+    } else if (!line.empty() && line[0] != '#') {
+      // URI line closes one chunk record.
+      if (!have_extinf || !have_meta) return std::nullopt;
+      pending.duration = time::from_seconds(pending_duration_s);
+      list.chunks.push_back(pending);
+      pending = media::Chunk{};
+      have_extinf = have_meta = false;
+    }
+  }
+  if (!have_target) return std::nullopt;
+  return list;
+}
+
+}  // namespace livesim::protocol

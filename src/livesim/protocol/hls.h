@@ -1,0 +1,29 @@
+// HLS-like playlist format and poll semantics.
+//
+// HLS viewers periodically poll the edge for a text playlist (an
+// m3u8-alike), diff it against what they have played, and fetch new
+// chunks. The render/parse round trip is exercised by the crawler and the
+// security experiments; the delay simulations use the structured form.
+#ifndef LIVESIM_PROTOCOL_HLS_H
+#define LIVESIM_PROTOCOL_HLS_H
+
+#include <optional>
+#include <string>
+
+#include "livesim/media/frame.h"
+
+namespace livesim::protocol {
+
+/// Renders a chunklist as an m3u8-style text playlist.
+std::string render_playlist(const media::ChunkList& list,
+                            const std::string& chunk_url_prefix);
+
+/// Parses a playlist produced by render_playlist. Returns nullopt on any
+/// structural error. (Capture timestamps and byte sizes round-trip via
+/// #EXT-X-LIVESIM-META lines; a real client would not need them, but our
+/// crawler measures with them.)
+std::optional<media::ChunkList> parse_playlist(const std::string& text);
+
+}  // namespace livesim::protocol
+
+#endif  // LIVESIM_PROTOCOL_HLS_H

@@ -1,0 +1,96 @@
+#include "livesim/protocol/rtmp.h"
+
+namespace livesim::protocol {
+
+std::vector<std::uint8_t> encode_message(const RtmpMessage& msg) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.type));
+  w.bytes(msg.body);
+  return w.take();
+}
+
+std::optional<RtmpMessage> decode_message(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  const auto type = r.u8();
+  if (!type) return std::nullopt;
+  if (*type < static_cast<std::uint8_t>(RtmpMessageType::kConnect) ||
+      *type > static_cast<std::uint8_t>(RtmpMessageType::kEndOfStream))
+    return std::nullopt;
+  auto body = r.bytes();
+  if (!body || !r.at_end()) return std::nullopt;
+  RtmpMessage msg;
+  msg.type = static_cast<RtmpMessageType>(*type);
+  msg.body = std::move(*body);
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_connect(const RtmpConnect& c) {
+  ByteWriter w;
+  w.str(c.broadcast_token);
+  w.str(c.stream_key);
+  return w.take();
+}
+
+std::optional<RtmpConnect> decode_connect(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  auto token = r.str();
+  auto key = r.str();
+  if (!token || !key) return std::nullopt;
+  return RtmpConnect{std::move(*token), std::move(*key)};
+}
+
+std::vector<std::uint8_t> encode_video(const RtmpVideoFrame& f) {
+  ByteWriter w;
+  w.u64(f.frame_seq);
+  w.i64(f.capture_ts_us);
+  w.u8(f.flags);
+  w.bytes(f.payload);
+  w.bytes(f.signature);
+  return w.take();
+}
+
+std::optional<RtmpVideoFrame> decode_video(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const auto seq = r.u64();
+  const auto ts = r.i64();
+  const auto flags = r.u8();
+  auto payload = r.bytes();
+  auto signature = r.bytes();
+  if (!seq || !ts || !flags || !payload || !signature) return std::nullopt;
+  RtmpVideoFrame f;
+  f.frame_seq = *seq;
+  f.capture_ts_us = *ts;
+  f.flags = *flags;
+  f.payload = std::move(*payload);
+  f.signature = std::move(*signature);
+  return f;
+}
+
+std::vector<std::uint8_t> frame_to_wire(const media::VideoFrame& f) {
+  RtmpVideoFrame v;
+  v.frame_seq = f.seq;
+  v.capture_ts_us = f.capture_ts;
+  v.flags = f.keyframe ? 1 : 0;
+  v.payload = f.payload;
+  v.signature = f.signature;
+  RtmpMessage msg{RtmpMessageType::kVideoFrame, encode_video(v)};
+  return encode_message(msg);
+}
+
+std::optional<media::VideoFrame> wire_to_frame(
+    std::span<const std::uint8_t> wire) {
+  auto msg = decode_message(wire);
+  if (!msg || msg->type != RtmpMessageType::kVideoFrame) return std::nullopt;
+  auto v = decode_video(msg->body);
+  if (!v) return std::nullopt;
+  media::VideoFrame f;
+  f.seq = v->frame_seq;
+  f.capture_ts = v->capture_ts_us;
+  f.keyframe = v->keyframe();
+  f.size_bytes = static_cast<std::uint32_t>(v->payload.size());
+  f.payload = std::move(v->payload);
+  f.signature = std::move(v->signature);
+  return f;
+}
+
+}  // namespace livesim::protocol

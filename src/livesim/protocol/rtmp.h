@@ -1,0 +1,65 @@
+// RTMP-like wire protocol (simplified but byte-real).
+//
+// Mirrors the properties the paper measured and exploited:
+//  * persistent connection, server pushes each ~40 ms frame (low latency);
+//  * the broadcast token travels in PLAINTEXT in the connect message;
+//  * frame payloads are neither encrypted nor authenticated by default.
+// The last two are exactly the §7 vulnerability; see security/ for the
+// MITM attacker that rewrites these bytes and the signature defense.
+#ifndef LIVESIM_PROTOCOL_RTMP_H
+#define LIVESIM_PROTOCOL_RTMP_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "livesim/media/frame.h"
+#include "livesim/protocol/wire.h"
+
+namespace livesim::protocol {
+
+enum class RtmpMessageType : std::uint8_t {
+  kConnect = 1,     // broadcaster -> ingest: token + stream key
+  kPublishAck = 2,  // ingest -> broadcaster
+  kVideoFrame = 3,  // either direction (upload / push to viewer)
+  kEndOfStream = 4,
+};
+
+struct RtmpConnect {
+  std::string broadcast_token;  // plaintext on the wire (the flaw)
+  std::string stream_key;
+};
+
+struct RtmpVideoFrame {
+  std::uint64_t frame_seq = 0;
+  std::int64_t capture_ts_us = 0;  // broadcaster-stamped, rides in metadata
+  std::uint8_t flags = 0;          // bit0 = keyframe
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> signature;  // empty unless the defense is on
+
+  bool keyframe() const noexcept { return (flags & 1) != 0; }
+};
+
+/// Every message is framed as [u8 type][u32 body_len][body].
+struct RtmpMessage {
+  RtmpMessageType type = RtmpMessageType::kConnect;
+  std::vector<std::uint8_t> body;
+};
+
+std::vector<std::uint8_t> encode_message(const RtmpMessage& msg);
+std::optional<RtmpMessage> decode_message(std::span<const std::uint8_t> wire);
+
+std::vector<std::uint8_t> encode_connect(const RtmpConnect& c);
+std::optional<RtmpConnect> decode_connect(std::span<const std::uint8_t> body);
+
+std::vector<std::uint8_t> encode_video(const RtmpVideoFrame& f);
+std::optional<RtmpVideoFrame> decode_video(std::span<const std::uint8_t> body);
+
+/// Convenience: a full framed video message from a media::VideoFrame.
+std::vector<std::uint8_t> frame_to_wire(const media::VideoFrame& f);
+std::optional<media::VideoFrame> wire_to_frame(
+    std::span<const std::uint8_t> wire);
+
+}  // namespace livesim::protocol
+
+#endif  // LIVESIM_PROTOCOL_RTMP_H

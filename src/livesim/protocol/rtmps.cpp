@@ -1,0 +1,81 @@
+#include "livesim/protocol/rtmps.h"
+
+#include <cstring>
+
+#include "livesim/protocol/wire.h"
+
+namespace livesim::protocol {
+
+using security::Digest;
+using security::Sha256;
+
+SecureChannel::SecureChannel(const Key& session_key) {
+  // Domain-separated subkeys: enc = H("enc" || k), mac = H("mac" || k).
+  Sha256 he;
+  he.update(std::string("livesim-enc"));
+  he.update(session_key);
+  const Digest ed = he.finish();
+  std::memcpy(enc_key_.data(), ed.data(), ed.size());
+
+  Sha256 hm;
+  hm.update(std::string("livesim-mac"));
+  hm.update(session_key);
+  const Digest md = hm.finish();
+  std::memcpy(mac_key_.data(), md.data(), md.size());
+}
+
+std::vector<std::uint8_t> SecureChannel::keystream_xor(
+    std::uint64_t seq, std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  std::uint64_t block = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    Sha256 h;
+    h.update(enc_key_);
+    ByteWriter w;
+    w.u64(seq);
+    w.u64(block);
+    h.update(w.data());
+    const Digest ks = h.finish();
+    const std::size_t take = std::min(ks.size(), out.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) out[pos + i] ^= ks[i];
+    pos += take;
+    ++block;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> SecureChannel::seal(
+    std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  std::vector<std::uint8_t> cipher = keystream_xor(seq, plaintext);
+
+  ByteWriter w;
+  w.u64(seq);
+  w.raw(cipher);
+  // MAC covers seq || ciphertext.
+  const Digest tag = security::hmac_sha256(mac_key_, w.data());
+  w.raw(tag);
+  return w.take();
+}
+
+std::optional<std::vector<std::uint8_t>> SecureChannel::open(
+    std::span<const std::uint8_t> record) {
+  if (record.size() < 8 + 32) return std::nullopt;
+  const std::size_t body_len = record.size() - 32;
+
+  Digest claimed{};
+  std::memcpy(claimed.data(), record.data() + body_len, 32);
+  const Digest expected =
+      security::hmac_sha256(mac_key_, record.subspan(0, body_len));
+  if (!security::digest_equal(claimed, expected)) return std::nullopt;
+
+  ByteReader r(record.subspan(0, body_len));
+  const auto seq = r.u64();
+  if (!seq || *seq != recv_seq_) return std::nullopt;  // replay/reorder
+  ++recv_seq_;
+
+  return keystream_xor(*seq, record.subspan(8, body_len - 8));
+}
+
+}  // namespace livesim::protocol

@@ -1,0 +1,65 @@
+// Byte-level serialization helpers (big-endian, length-prefixed).
+//
+// The RTMP-like codec and the signature scheme both need a real byte
+// format so the MITM experiments in §7 operate on actual wire bytes, not
+// on in-memory structs.
+#ifndef LIVESIM_PROTOCOL_WIRE_H
+#define LIVESIM_PROTOCOL_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace livesim::protocol {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(const std::string& s);
+
+  /// Raw append without a length prefix.
+  void raw(std::span<const std::uint8_t> data);
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Cursor-based reader; all accessors return nullopt on truncation instead
+/// of throwing, so malformed (tampered) input is handled gracefully.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int64_t> i64();
+  std::optional<std::vector<std::uint8_t>> bytes();
+  std::optional<std::string> str();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  bool need(std::size_t n) const noexcept { return remaining() >= n; }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace livesim::protocol
+
+#endif  // LIVESIM_PROTOCOL_WIRE_H

@@ -1,0 +1,45 @@
+#include "livesim/security/attack.h"
+
+#include <algorithm>
+
+namespace livesim::security {
+
+std::vector<std::uint8_t> TamperAttacker::intercept(
+    std::vector<std::uint8_t> wire) {
+  ++stats_.messages_seen;
+  auto msg = protocol::decode_message(wire);
+  if (!msg) {
+    // Not parseable as plaintext RTMP (e.g. an RTMPS record): the
+    // attacker can only forward (or corrupt) it blindly.
+    ++stats_.parse_failures;
+    return wire;
+  }
+
+  switch (msg->type) {
+    case protocol::RtmpMessageType::kConnect: {
+      // The broadcast token travels in plaintext -- the attacker can
+      // harvest it (session hijacking) while forwarding unchanged.
+      if (protocol::decode_connect(msg->body)) ++stats_.tokens_sniffed;
+      return wire;
+    }
+    case protocol::RtmpMessageType::kVideoFrame: {
+      auto frame = protocol::decode_video(msg->body);
+      if (!frame) {
+        ++stats_.parse_failures;
+        return wire;
+      }
+      // Replace the picture, keep headers/timestamps so nothing looks
+      // anomalous to the server. The signature (if any) is left in place
+      // -- it no longer matches the payload, which is the point.
+      std::fill(frame->payload.begin(), frame->payload.end(), replacement_);
+      ++stats_.frames_tampered;
+      protocol::RtmpMessage out{protocol::RtmpMessageType::kVideoFrame,
+                                protocol::encode_video(*frame)};
+      return protocol::encode_message(out);
+    }
+    default:
+      return wire;
+  }
+}
+
+}  // namespace livesim::security

@@ -1,0 +1,48 @@
+// The §7.1 broadcast-tampering attack, at the byte level.
+//
+// A man-in-the-middle on the broadcaster's (or a viewer's) WiFi parses
+// the unencrypted RTMP messages, swaps the video payload for its own
+// (black frames in the paper's proof of concept), and forwards the
+// modified bytes. Against an unsigned stream this succeeds silently;
+// against a signed stream the verifier flags every tampered window; over
+// RTMPS the record MAC fails outright.
+#ifndef LIVESIM_SECURITY_ATTACK_H
+#define LIVESIM_SECURITY_ATTACK_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "livesim/protocol/rtmp.h"
+
+namespace livesim::security {
+
+class TamperAttacker {
+ public:
+  struct Stats {
+    std::uint64_t messages_seen = 0;
+    std::uint64_t frames_tampered = 0;
+    std::uint64_t parse_failures = 0;
+    std::uint64_t tokens_sniffed = 0;
+  };
+
+  /// `replacement_byte`: what to overwrite payloads with (0x00 = the
+  /// paper's black frames).
+  explicit TamperAttacker(std::uint8_t replacement_byte = 0x00)
+      : replacement_(replacement_byte) {}
+
+  /// Intercepts one wire message. Returns the bytes to forward: tampered
+  /// video frames, or the original bytes for anything it cannot parse
+  /// (e.g. RTMPS records -- which then fail their MAC downstream).
+  std::vector<std::uint8_t> intercept(std::vector<std::uint8_t> wire);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  std::uint8_t replacement_;
+  Stats stats_;
+};
+
+}  // namespace livesim::security
+
+#endif  // LIVESIM_SECURITY_ATTACK_H

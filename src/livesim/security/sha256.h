@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by the stream-integrity defense of §7: HMAC keying, the WOTS
+// one-time signatures, and the Merkle tree are all built on this hash.
+#ifndef LIVESIM_SECURITY_SHA256_H
+#define LIVESIM_SECURITY_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace livesim::security {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+
+  /// Finalizes and returns the digest; the object must be reset() before
+  /// reuse.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256 per RFC 2104.
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+/// Hex encoding of a digest (for logs and tests).
+std::string to_hex(const Digest& d);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Digest& a, const Digest& b) noexcept;
+
+}  // namespace livesim::security
+
+#endif  // LIVESIM_SECURITY_SHA256_H

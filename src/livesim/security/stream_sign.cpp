@@ -1,0 +1,139 @@
+#include "livesim/security/stream_sign.h"
+
+#include <stdexcept>
+
+#include "livesim/protocol/wire.h"
+
+namespace livesim::security {
+
+namespace {
+
+void fold_frame(Sha256& running, const media::VideoFrame& frame) {
+  protocol::ByteWriter w;
+  w.u64(frame.seq);
+  w.i64(frame.capture_ts);
+  w.u8(frame.keyframe ? 1 : 0);
+  running.update(w.data());
+  running.update(frame.payload);
+}
+
+}  // namespace
+
+StreamSigner::StreamSigner(const Digest& seed, std::size_t max_signatures,
+                           std::uint32_t sign_every)
+    : seed_(seed), sign_every_(sign_every), max_signatures_(max_signatures) {
+  if (sign_every_ == 0)
+    throw std::invalid_argument("StreamSigner: sign_every must be >= 1");
+  std::vector<Digest> leaves;
+  leaves.reserve(max_signatures);
+  keys_.reserve(max_signatures);
+  for (std::size_t i = 0; i < max_signatures; ++i) {
+    keys_.push_back(Wots::derive(seed_, i));
+    leaves.push_back(keys_.back().public_key);
+  }
+  tree_ = std::make_unique<MerkleTree>(std::move(leaves));
+  // Key derivation costs: chains of 15 hashes x 67 chunks per key.
+  hash_ops_ += max_signatures * Wots::kChunks * Wots::kChainLen;
+}
+
+void StreamSigner::process(media::VideoFrame& frame) {
+  frame.signature.clear();
+  fold_frame(running_, frame);
+  ++hash_ops_;
+  if (++frames_in_window_ < sign_every_) return;
+
+  if (next_key_ >= max_signatures_)
+    throw std::runtime_error("StreamSigner: one-time keys exhausted");
+
+  const Digest window_digest = running_.finish();
+  running_.reset();
+  frames_in_window_ = 0;
+
+  const Wots::KeyPair& kp = keys_[next_key_];
+  SignatureBlob blob;
+  blob.key_index = next_key_;
+  blob.wots_signature = Wots::sign(kp, window_digest);
+  blob.auth_path = tree_->auth_path(next_key_);
+  frame.signature = blob.encode();
+  // Signing: ~half the chain steps on average, plus the pk re-derivation.
+  hash_ops_ += Wots::kChunks * (Wots::kChainLen / 2);
+  ++next_key_;
+}
+
+StreamVerifier::StreamVerifier(const Digest& root, std::uint32_t sign_every)
+    : root_(root), sign_every_(sign_every) {}
+
+StreamVerifier::Result StreamVerifier::process(const media::VideoFrame& frame) {
+  fold_frame(running_, frame);
+  if (++frames_in_window_ < sign_every_) {
+    if (!frame.signature.empty()) {
+      // Signature where none was expected: treat as tampering (it could
+      // be an attacker trying to re-frame the window boundaries).
+      ++tampered_;
+      running_.reset();
+      frames_in_window_ = 0;
+      ++window_index_;
+      return Result::kTampered;
+    }
+    return Result::kPassThrough;
+  }
+
+  const Digest window_digest = running_.finish();
+  running_.reset();
+  frames_in_window_ = 0;
+  const std::uint64_t window = window_index_++;
+
+  const auto blob = SignatureBlob::decode(frame.signature);
+  if (!blob || blob->key_index != window) {
+    ++tampered_;
+    return Result::kTampered;
+  }
+  const Digest pk =
+      Wots::recover_public_key(blob->wots_signature, window_digest);
+  if (!MerkleTree::verify(pk, blob->key_index, blob->auth_path, root_)) {
+    ++tampered_;
+    return Result::kTampered;
+  }
+  ++verified_;
+  return Result::kVerified;
+}
+
+std::vector<std::uint8_t> SignatureBlob::encode() const {
+  protocol::ByteWriter w;
+  w.u64(key_index);
+  w.bytes(wots_signature);
+  w.u32(static_cast<std::uint32_t>(auth_path.size()));
+  for (const Digest& d : auth_path) w.raw(d);
+  return w.take();
+}
+
+std::optional<SignatureBlob> SignatureBlob::decode(
+    std::span<const std::uint8_t> data) {
+  protocol::ByteReader r(data);
+  SignatureBlob blob;
+  const auto idx = r.u64();
+  if (!idx) return std::nullopt;
+  blob.key_index = *idx;
+  auto sig = r.bytes();
+  if (!sig) return std::nullopt;
+  blob.wots_signature = std::move(*sig);
+  const auto n = r.u32();
+  if (!n || *n > 64) return std::nullopt;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    Digest d{};
+    for (std::size_t b = 0; b < d.size(); ++b) {
+      const auto byte = r.u8();
+      if (!byte) return std::nullopt;
+      d[b] = *byte;
+    }
+    blob.auth_path.push_back(d);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return blob;
+}
+
+std::size_t SignatureBlob::wire_size() const noexcept {
+  return 8 + 4 + wots_signature.size() + 4 + auth_path.size() * 32;
+}
+
+}  // namespace livesim::security

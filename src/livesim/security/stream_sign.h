@@ -1,0 +1,96 @@
+// Stream signer / verifier: the paper's §7.2 countermeasure.
+//
+// At broadcast setup the broadcaster derives N one-time WOTS keys from a
+// secret seed, builds a Merkle tree over their public keys, and sends the
+// 32-byte root over the (already HTTPS-protected) control channel. While
+// streaming, it signs a running hash of every frame since the previous
+// signature -- "signing hashes across multiple frames", the paper's own
+// overhead optimization -- every `sign_every` frames. Any party holding
+// the root (Wowza, or viewers after the server forwards it) verifies each
+// signature and detects tampering of any covered frame.
+#ifndef LIVESIM_SECURITY_STREAM_SIGN_H
+#define LIVESIM_SECURITY_STREAM_SIGN_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "livesim/media/frame.h"
+#include "livesim/security/sha256.h"
+#include "livesim/security/wots.h"
+
+namespace livesim::security {
+
+class StreamSigner {
+ public:
+  /// `max_signatures` must be a power of two; with sign_every = 25 (one
+  /// signature per second of video) 4096 keys cover a >1 hour broadcast.
+  StreamSigner(const Digest& seed, std::size_t max_signatures,
+               std::uint32_t sign_every);
+
+  const Digest& root() const noexcept { return tree_->root(); }
+  std::uint32_t sign_every() const noexcept { return sign_every_; }
+
+  /// Processes an outgoing frame: folds it into the running hash and, on
+  /// every `sign_every`-th frame, writes a signature blob into
+  /// frame.signature (empty otherwise). Throws when the key supply is
+  /// exhausted.
+  void process(media::VideoFrame& frame);
+
+  std::uint64_t signatures_issued() const noexcept { return next_key_; }
+  std::uint64_t hash_operations() const noexcept { return hash_ops_; }
+
+ private:
+  Digest seed_;
+  std::uint32_t sign_every_;
+  std::size_t max_signatures_;
+  std::vector<Wots::KeyPair> keys_;  // derived once at setup (~2 KB/key)
+  std::unique_ptr<MerkleTree> tree_;
+  Sha256 running_;
+  std::uint32_t frames_in_window_ = 0;
+  std::uint64_t next_key_ = 0;
+  std::uint64_t hash_ops_ = 0;
+};
+
+/// Verifier state held by the ingest server and/or each viewer.
+class StreamVerifier {
+ public:
+  enum class Result {
+    kPassThrough,  // unsigned frame inside a window; judged at window end
+    kVerified,     // signature present and valid for the window
+    kTampered,     // signature invalid, missing, or malformed
+  };
+
+  StreamVerifier(const Digest& root, std::uint32_t sign_every);
+
+  Result process(const media::VideoFrame& frame);
+
+  std::uint64_t windows_verified() const noexcept { return verified_; }
+  std::uint64_t windows_tampered() const noexcept { return tampered_; }
+
+ private:
+  Digest root_;
+  std::uint32_t sign_every_;
+  Sha256 running_;
+  std::uint32_t frames_in_window_ = 0;
+  std::uint64_t window_index_ = 0;
+  std::uint64_t verified_ = 0;
+  std::uint64_t tampered_ = 0;
+};
+
+/// Serialized signature blob layout helpers (embedded in frame metadata).
+struct SignatureBlob {
+  std::uint64_t key_index = 0;
+  std::vector<std::uint8_t> wots_signature;
+  std::vector<Digest> auth_path;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<SignatureBlob> decode(
+      std::span<const std::uint8_t> data);
+  std::size_t wire_size() const noexcept;
+};
+
+}  // namespace livesim::security
+
+#endif  // LIVESIM_SECURITY_STREAM_SIGN_H

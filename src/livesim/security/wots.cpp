@@ -1,0 +1,131 @@
+#include "livesim/security/wots.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "livesim/protocol/wire.h"
+
+namespace livesim::security {
+
+std::array<std::uint8_t, Wots::kChunks> Wots::chunk_message(const Digest& m) {
+  std::array<std::uint8_t, kChunks> chunks{};
+  // 64 message chunks: 4 bits each.
+  for (std::size_t i = 0; i < 32; ++i) {
+    chunks[2 * i] = m[i] >> 4;
+    chunks[2 * i + 1] = m[i] & 0xF;
+  }
+  // Checksum: sum of (15 - chunk) over message chunks, 3 base-16 digits.
+  std::uint32_t checksum = 0;
+  for (std::size_t i = 0; i < 64; ++i) checksum += kChainLen - chunks[i];
+  chunks[64] = (checksum >> 8) & 0xF;
+  chunks[65] = (checksum >> 4) & 0xF;
+  chunks[66] = checksum & 0xF;
+  return chunks;
+}
+
+Digest Wots::chain(const Digest& start, std::uint32_t from,
+                   std::uint32_t steps) {
+  Digest d = start;
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    Sha256 h;
+    h.update(std::string("livesim-wots-chain"));
+    const std::uint8_t pos = static_cast<std::uint8_t>(from + i);
+    h.update(std::span<const std::uint8_t>(&pos, 1));
+    h.update(d);
+    d = h.finish();
+  }
+  return d;
+}
+
+Wots::KeyPair Wots::derive(const Digest& seed, std::uint64_t index) {
+  KeyPair kp;
+  Sha256 pk_hash;
+  pk_hash.update(std::string("livesim-wots-pk"));
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    Sha256 h;
+    h.update(std::string("livesim-wots-sk"));
+    h.update(seed);
+    protocol::ByteWriter w;
+    w.u64(index);
+    w.u32(static_cast<std::uint32_t>(c));
+    h.update(w.data());
+    kp.secret[c] = h.finish();
+    pk_hash.update(chain(kp.secret[c], 0, kChainLen));
+  }
+  kp.public_key = pk_hash.finish();
+  return kp;
+}
+
+std::vector<std::uint8_t> Wots::sign(const KeyPair& kp, const Digest& message) {
+  const auto chunks = chunk_message(message);
+  std::vector<std::uint8_t> sig;
+  sig.reserve(kSignatureBytes);
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    const Digest node = chain(kp.secret[c], 0, chunks[c]);
+    sig.insert(sig.end(), node.begin(), node.end());
+  }
+  return sig;
+}
+
+Digest Wots::recover_public_key(const std::vector<std::uint8_t>& signature,
+                                const Digest& message) {
+  if (signature.size() != kSignatureBytes) return Digest{};  // malformed
+  const auto chunks = chunk_message(message);
+  Sha256 pk_hash;
+  pk_hash.update(std::string("livesim-wots-pk"));
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    Digest node;
+    std::memcpy(node.data(), signature.data() + c * 32, 32);
+    pk_hash.update(chain(node, chunks[c], kChainLen - chunks[c]));
+  }
+  return pk_hash.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaf_count_ == 0 || (leaf_count_ & (leaf_count_ - 1)) != 0)
+    throw std::invalid_argument("MerkleTree: leaf count must be a power of 2");
+  nodes_.resize(2 * leaf_count_);
+  for (std::size_t i = 0; i < leaf_count_; ++i)
+    nodes_[leaf_count_ + i] = leaves[i];
+  for (std::size_t i = leaf_count_ - 1; i >= 1; --i) {
+    Sha256 h;
+    h.update(std::string("livesim-merkle"));
+    h.update(nodes_[2 * i]);
+    h.update(nodes_[2 * i + 1]);
+    nodes_[i] = h.finish();
+  }
+}
+
+std::vector<Digest> MerkleTree::auth_path(std::size_t index) const {
+  if (index >= leaf_count_) throw std::out_of_range("MerkleTree::auth_path");
+  std::vector<Digest> path;
+  std::size_t node = leaf_count_ + index;
+  while (node > 1) {
+    path.push_back(nodes_[node ^ 1]);
+    node >>= 1;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(const Digest& leaf, std::size_t index,
+                        const std::vector<Digest>& path, const Digest& root) {
+  Digest cur = leaf;
+  std::size_t idx = index;
+  for (const Digest& sibling : path) {
+    Sha256 h;
+    h.update(std::string("livesim-merkle"));
+    if ((idx & 1) == 0) {
+      h.update(cur);
+      h.update(sibling);
+    } else {
+      h.update(sibling);
+      h.update(cur);
+    }
+    cur = h.finish();
+    idx >>= 1;
+  }
+  return digest_equal(cur, root);
+}
+
+}  // namespace livesim::security

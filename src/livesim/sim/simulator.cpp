@@ -1,0 +1,99 @@
+#include "livesim/sim/simulator.h"
+
+#include <utility>
+
+namespace livesim::sim {
+
+EventId Simulator::schedule_at(TimeUs t, EventFn fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(fn)});
+  pending_ids_.insert(seq);
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_in(DurationUs delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid() || pending_ids_.erase(id.value) == 0) return false;
+  // We cannot remove from the heap directly; tombstone instead. The pop
+  // path discards tombstoned entries, so memory is reclaimed as time
+  // advances past them.
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::pop_one() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    // Move the callback out before popping so it may schedule/cancel freely.
+    EventFn fn = std::move(const_cast<Entry&>(top).fn);
+    now_ = top.time;
+    pending_ids_.erase(top.seq);
+    heap_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (pop_one()) {
+  }
+}
+
+void Simulator::run_until(TimeUs t) {
+  for (;;) {
+    // Skip tombstones to see the real next event time.
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      break;
+    }
+    if (heap_.empty() || heap_.top().time > t) break;
+    pop_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::size_t Simulator::step(std::size_t n) {
+  std::size_t ran = 0;
+  while (ran < n && pop_one()) ++ran;
+  return ran;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, TimeUs start,
+                                 DurationUs interval, TickFn fn)
+    : sim_(sim), interval_(interval), fn_(std::move(fn)) {
+  arm(start);
+}
+
+void PeriodicProcess::arm(TimeUs at) {
+  pending_ = sim_.schedule_at(at, [this] {
+    if (!running_) return;
+    ++ticks_;
+    fn_(*this);
+    if (running_) arm(sim_.now() + interval_);
+  });
+}
+
+void PeriodicProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace livesim::sim

@@ -1,0 +1,113 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a time-ordered queue of callbacks. Events scheduled for
+// the same instant fire in scheduling order (stable), which keeps protocol
+// handshakes deterministic. Everything in livesim that "takes time" is
+// expressed as events against one of these.
+#ifndef LIVESIM_SIM_SIMULATOR_H
+#define LIVESIM_SIM_SIMULATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "livesim/util/ids.h"
+#include "livesim/util/time.h"
+
+namespace livesim::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable: events capture `this` of live components.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimeUs now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now, else clamped to now).
+  EventId schedule_at(TimeUs t, EventFn fn);
+
+  /// Schedules `fn` after `delay` (negative delays clamp to "immediately").
+  EventId schedule_in(DurationUs delay, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Runs events with time <= `t`, then sets the clock to `t`.
+  void run_until(TimeUs t);
+
+  /// Runs at most `n` further events; returns how many actually ran.
+  std::size_t step(std::size_t n = 1);
+
+  std::size_t pending() const noexcept { return pending_ids_.size(); }
+  std::size_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Entry {
+    TimeUs time;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one();  // runs the earliest non-cancelled event, if any
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+/// Repeats a callback at a (possibly jittered) interval until stopped.
+/// The callback receives the process so it can stop itself.
+class PeriodicProcess {
+ public:
+  using TickFn = std::function<void(PeriodicProcess&)>;
+
+  /// Starts ticking at `start`, then every `interval`. The optional
+  /// `jitter_fn` returns a signed offset added to each subsequent interval.
+  PeriodicProcess(Simulator& sim, TimeUs start, DurationUs interval, TickFn fn);
+
+  ~PeriodicProcess() { stop(); }
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  void stop();
+  bool running() const noexcept { return running_; }
+  DurationUs interval() const noexcept { return interval_; }
+  void set_interval(DurationUs interval) noexcept { interval_ = interval; }
+  std::uint64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  void arm(TimeUs at);
+
+  Simulator& sim_;
+  DurationUs interval_;
+  TickFn fn_;
+  EventId pending_{};
+  bool running_ = true;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace livesim::sim
+
+#endif  // LIVESIM_SIM_SIMULATOR_H

@@ -1,0 +1,146 @@
+#include "livesim/social/generators.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace livesim::social {
+
+GraphGenParams GraphGenParams::periscope_like(std::uint32_t nodes) {
+  GraphGenParams p;
+  p.nodes = nodes;
+  p.mean_out_degree = 11.5;  // yields ~19.3 directed edges/node w/ extras
+  p.pref_attach = 0.92;
+  p.reciprocity = 0.30;
+  p.triadic_closure = 0.35;
+  p.assortative_bias = 0.0;
+  p.communities = nodes / 300;
+  p.community_bias = 0.15;
+  p.seed = 101;
+  return p;
+}
+
+GraphGenParams GraphGenParams::twitter_like(std::uint32_t nodes) {
+  GraphGenParams p;
+  p.nodes = nodes;
+  p.mean_out_degree = 6.2;
+  p.pref_attach = 0.97;
+  p.reciprocity = 0.10;
+  p.triadic_closure = 0.02;
+  p.assortative_bias = 0.0;
+  p.communities = nodes / 150;
+  p.community_bias = 0.25;
+  p.seed = 102;
+  return p;
+}
+
+GraphGenParams GraphGenParams::facebook_like(std::uint32_t nodes) {
+  GraphGenParams p;
+  p.nodes = nodes;
+  p.mean_out_degree = 26.0;  // friendships are mutual -> ~99 edges/node
+  p.pref_attach = 0.30;
+  p.reciprocity = 1.0;  // friendship is mutual
+  p.triadic_closure = 0.55;
+  p.assortative_bias = 0.55;
+  p.communities = nodes / 120;
+  p.community_bias = 0.75;
+  p.seed = 103;
+  return p;
+}
+
+Graph generate(const GraphGenParams& params) {
+  Graph g(params.nodes);
+  Rng rng(params.seed);
+
+  // Repeated-endpoint list: sampling uniformly from it approximates
+  // in-degree preferential attachment (each edge adds its target once).
+  std::vector<std::uint32_t> pa_pool;
+  pa_pool.reserve(static_cast<std::size_t>(
+      params.nodes * (params.mean_out_degree + 1.0)));
+
+  const std::uint32_t seed_nodes =
+      std::max<std::uint32_t>(3, static_cast<std::uint32_t>(
+                                     params.mean_out_degree) + 1);
+
+  auto community_of = [&](std::uint32_t node) {
+    return params.communities ? node % params.communities : 0u;
+  };
+
+  // Target selection modes are mutually exclusive per edge: community,
+  // then assortative, then preferential attachment, then uniform.
+  auto pick_target = [&](std::uint32_t joiner) -> std::uint32_t {
+    if (params.communities > 0 && joiner > params.communities &&
+        rng.bernoulli(params.community_bias)) {
+      // Same-community target: node ids congruent to the joiner's group.
+      const std::uint32_t group = community_of(joiner);
+      const std::uint32_t peers =
+          (joiner - 1 - group) / params.communities + 1;
+      const auto k = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(peers) - 1));
+      std::uint32_t candidate = group + k * params.communities;
+      if (candidate >= joiner) candidate = group;
+      return candidate;
+    }
+    if (params.assortative_bias > 0.0 &&
+        rng.bernoulli(params.assortative_bias)) {
+      // Degree-closest of a few random candidates: correlates endpoint
+      // degrees, pushing assortativity positive.
+      std::uint32_t best =
+          static_cast<std::uint32_t>(rng.uniform_int(0, joiner - 1));
+      std::int64_t best_gap =
+          std::abs(static_cast<std::int64_t>(g.degree(best)) -
+                   static_cast<std::int64_t>(g.degree(joiner)));
+      for (int tries = 0; tries < 3; ++tries) {
+        const auto alt =
+            static_cast<std::uint32_t>(rng.uniform_int(0, joiner - 1));
+        const std::int64_t gap =
+            std::abs(static_cast<std::int64_t>(g.degree(alt)) -
+                     static_cast<std::int64_t>(g.degree(joiner)));
+        if (gap < best_gap) {
+          best = alt;
+          best_gap = gap;
+        }
+      }
+      return best;
+    }
+    if (!pa_pool.empty() && rng.bernoulli(params.pref_attach)) {
+      return pa_pool[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pa_pool.size()) - 1))];
+    }
+    return static_cast<std::uint32_t>(rng.uniform_int(0, joiner - 1));
+  };
+
+  auto connect = [&](std::uint32_t u, std::uint32_t v) {
+    if (g.add_edge(u, v)) pa_pool.push_back(v);
+    if (params.reciprocity > 0.0 && rng.bernoulli(params.reciprocity)) {
+      if (g.add_edge(v, u)) pa_pool.push_back(u);
+    }
+  };
+
+  // Seed clique so the PA pool is non-empty.
+  for (std::uint32_t u = 0; u < seed_nodes && u < params.nodes; ++u)
+    for (std::uint32_t v = 0; v < seed_nodes && v < params.nodes; ++v)
+      if (u != v && rng.bernoulli(0.5)) connect(u, v);
+
+  for (std::uint32_t joiner = seed_nodes; joiner < params.nodes; ++joiner) {
+    // Out-degree varies around the mean (geometric-ish spread).
+    const auto budget = static_cast<std::uint32_t>(std::max(
+        1.0, rng.exponential(params.mean_out_degree)));
+    for (std::uint32_t e = 0; e < budget; ++e) {
+      const std::uint32_t target = pick_target(joiner);
+      connect(joiner, target);
+
+      // Triadic closure: also follow someone my new contact follows.
+      if (rng.bernoulli(params.triadic_closure) &&
+          !g.out(target).empty()) {
+        const auto& nbrs = g.out(target);
+        const std::uint32_t fof = nbrs[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+        connect(joiner, fof);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace livesim::social

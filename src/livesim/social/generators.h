@@ -1,0 +1,44 @@
+// Social graph generators for the Table 2 comparison.
+//
+// One configurable growth model covers all three networks:
+//  * preferential attachment (rich-get-richer follows) -> heavy-tailed
+//    in-degree and *negative* assortativity (new low-degree nodes attach
+//    to hubs), as in Twitter and Periscope;
+//  * reciprocity -> bidirectional links, as in Facebook;
+//  * triadic closure -> clustering (friends-of-friends);
+//  * assortative bias -> positive degree correlation (Facebook-like).
+#ifndef LIVESIM_SOCIAL_GENERATORS_H
+#define LIVESIM_SOCIAL_GENERATORS_H
+
+#include "livesim/social/graph.h"
+
+namespace livesim::social {
+
+struct GraphGenParams {
+  std::uint32_t nodes = 100000;
+  double mean_out_degree = 20.0;   // edges created per joining node
+  double pref_attach = 0.8;        // P(target chosen by in-degree PA)
+  double reciprocity = 0.2;        // P(v follows back)
+  double triadic_closure = 0.1;    // P(extra edge to a neighbor's neighbor)
+  double assortative_bias = 0.0;   // P(pick degree-similar candidate)
+  // Community structure: nodes are hashed into `communities` groups and
+  // with probability community_bias a target is drawn from the joiner's
+  // own group. Drives clustering up (dense neighborhoods) and lengthens
+  // global paths (fewer long-range links).
+  std::uint32_t communities = 0;   // 0 disables
+  double community_bias = 0.0;
+  std::uint64_t seed = 1;
+
+  /// Presets scaled to ~N nodes, tuned to reproduce the *relative*
+  /// Table 2 structure (degree ordering, clustering ordering, sign of
+  /// assortativity; Periscope between Facebook and Twitter).
+  static GraphGenParams periscope_like(std::uint32_t nodes);
+  static GraphGenParams twitter_like(std::uint32_t nodes);
+  static GraphGenParams facebook_like(std::uint32_t nodes);
+};
+
+Graph generate(const GraphGenParams& params);
+
+}  // namespace livesim::social
+
+#endif  // LIVESIM_SOCIAL_GENERATORS_H

@@ -1,0 +1,129 @@
+#include "livesim/social/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "livesim/stats/accumulator.h"
+
+namespace livesim::social {
+
+bool Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u == v || u >= nodes() || v >= nodes()) return false;
+  auto& adj = out_[u];
+  if (std::find(adj.begin(), adj.end(), v) != adj.end()) return false;
+  adj.push_back(v);
+  ++in_degree_[v];
+  ++edge_count_;
+  return true;
+}
+
+void Graph::build_reverse() {
+  in_.assign(nodes(), {});
+  for (std::uint32_t v = 0; v < nodes(); ++v)
+    in_[v].reserve(in_degree_[v]);
+  for (std::uint32_t u = 0; u < nodes(); ++u)
+    for (std::uint32_t v : out_[u]) in_[v].push_back(u);
+}
+
+const std::vector<std::uint32_t>& Graph::followers_of(std::uint32_t v) const {
+  if (in_.empty()) throw std::logic_error("Graph: build_reverse() first");
+  return in_.at(v);
+}
+
+namespace {
+
+/// Undirected neighbor view of a node (out plus in would need an in-list;
+/// we approximate the projection with out-neighbors of u plus nodes that u
+/// appears under -- too costly. Instead we build a temporary undirected
+/// adjacency for the sampled computation).
+std::vector<std::vector<std::uint32_t>> undirected_adjacency(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> adj(g.nodes());
+  for (std::uint32_t u = 0; u < g.nodes(); ++u) {
+    for (std::uint32_t v : g.out(u)) {
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  for (auto& nbrs : adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return adj;
+}
+
+double local_clustering(const std::vector<std::vector<std::uint32_t>>& adj,
+                        std::uint32_t u) {
+  const auto& nbrs = adj[u];
+  const std::size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  std::uint64_t links = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& ni = adj[nbrs[i]];
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (std::binary_search(ni.begin(), ni.end(), nbrs[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+}  // namespace
+
+GraphMetrics measure(const Graph& g, Rng& rng,
+                     std::uint32_t clustering_samples,
+                     std::uint32_t path_sources) {
+  GraphMetrics m;
+  m.nodes = g.nodes();
+  m.edges = g.edges();
+  m.mean_degree = g.mean_out_degree();
+  if (g.nodes() == 0) return m;
+
+  const auto adj = undirected_adjacency(g);
+
+  // Clustering: average over sampled nodes with degree >= 2.
+  stats::Accumulator cc;
+  for (std::uint32_t i = 0; i < clustering_samples; ++i) {
+    const auto u = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.nodes()) - 1));
+    if (adj[u].size() >= 2) cc.add(local_clustering(adj, u));
+  }
+  m.clustering = cc.mean();
+
+  // Average shortest path: BFS from sampled sources, over reached nodes.
+  stats::Accumulator paths;
+  std::vector<std::int32_t> dist(g.nodes());
+  for (std::uint32_t s = 0; s < path_sources; ++s) {
+    const auto src = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.nodes()) - 1));
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<std::uint32_t> q;
+    dist[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (std::uint32_t v : adj[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          paths.add(dist[v]);
+          q.push(v);
+        }
+      }
+    }
+  }
+  m.mean_path = paths.mean();
+
+  // Degree assortativity: Pearson correlation of endpoint (total) degrees
+  // over directed edges.
+  stats::Correlation corr;
+  for (std::uint32_t u = 0; u < g.nodes(); ++u)
+    for (std::uint32_t v : g.out(u))
+      corr.add(static_cast<double>(g.degree(u)),
+               static_cast<double>(g.degree(v)));
+  m.assortativity = corr.pearson();
+  return m;
+}
+
+}  // namespace livesim::social

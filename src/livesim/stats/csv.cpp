@@ -1,0 +1,54 @@
+#include "livesim/stats/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace livesim::stats {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("CsvWriter: need at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << (i ? "," : "") << headers_[i];
+  os << '\n';
+  char buf[64];
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%.6g", row[i]);
+      os << (i ? "," : "") << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<std::string> CsvWriter::write(const std::string& dir,
+                                            const std::string& name) const {
+  if (dir.empty()) return std::nullopt;
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) return std::nullopt;
+  out << render();
+  return out ? std::optional<std::string>(path) : std::nullopt;
+}
+
+std::string CsvWriter::env_dir() {
+  const char* dir = std::getenv("LIVESIM_CSV_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+}  // namespace livesim::stats

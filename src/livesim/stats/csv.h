@@ -1,0 +1,40 @@
+// CSV export for bench artifacts.
+//
+// Every figure bench prints its series as text; with LIVESIM_CSV_DIR set,
+// the same series are also written as plot-ready CSV files, one per
+// figure, so the paper's plots can be regenerated with any tool.
+#ifndef LIVESIM_STATS_CSV_H
+#define LIVESIM_STATS_CSV_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace livesim::stats {
+
+class CsvWriter {
+ public:
+  /// Column-oriented table: one header per column, rows of equal width.
+  CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<double>& cells);
+
+  /// Serializes to CSV text (RFC-4180-ish, numeric only).
+  std::string render() const;
+
+  /// Writes `<dir>/<name>.csv` if `dir` is non-empty; returns the path
+  /// written, or nullopt when disabled or on I/O failure.
+  std::optional<std::string> write(const std::string& dir,
+                                   const std::string& name) const;
+
+  /// Convenience: the value of LIVESIM_CSV_DIR ("" when unset).
+  static std::string env_dir();
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace livesim::stats
+
+#endif  // LIVESIM_STATS_CSV_H

@@ -1,0 +1,38 @@
+// Fixed-width and log-scale histograms for delay / size distributions.
+#ifndef LIVESIM_STATS_HISTOGRAM_H
+#define LIVESIM_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace livesim::stats {
+
+/// Linear-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Center x-value of a bin.
+  double bin_center(std::size_t bin) const;
+  double bin_lo(std::size_t bin) const;
+
+  /// Fraction of all samples in this bin (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace livesim::stats
+
+#endif  // LIVESIM_STATS_HISTOGRAM_H

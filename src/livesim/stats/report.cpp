@@ -1,0 +1,101 @@
+#include "livesim/stats/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace livesim::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(std::int64_t v) {
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "");
+      os << cells[i];
+      for (std::size_t pad = cells[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+void print_banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+void print_cdf(const std::string& label, const Sampler& sampler,
+               const std::vector<double>& points, int precision) {
+  std::cout << "-- CDF: " << label << " (n=" << sampler.size() << ")\n";
+  for (double p : points) {
+    std::cout << "  x=" << Table::num(p, precision)
+              << "  F=" << Table::num(sampler.cdf_at(p), 4) << '\n';
+  }
+}
+
+std::vector<double> log_points(double lo, double hi, std::size_t n) {
+  if (!(lo > 0) || !(hi > lo) || n < 2)
+    throw std::invalid_argument("log_points: need 0 < lo < hi, n >= 2");
+  std::vector<double> out(n);
+  const double step = std::log(hi / lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo * std::exp(step * static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> linear_points(double lo, double hi, std::size_t n) {
+  if (n < 2 || !(hi > lo))
+    throw std::invalid_argument("linear_points: need lo < hi, n >= 2");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  return out;
+}
+
+}  // namespace livesim::stats

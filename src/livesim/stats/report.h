@@ -1,0 +1,52 @@
+// ASCII reporting helpers shared by all bench binaries.
+//
+// Every bench prints the same artifacts the paper does: a titled table
+// (rows of label -> values) or a CDF/series block with one line per
+// x-point, so the output can be diffed against the paper's figures.
+#ifndef LIVESIM_STATS_REPORT_H
+#define LIVESIM_STATS_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "livesim/stats/sampler.h"
+
+namespace livesim::stats {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(std::int64_t v);  // with thousands separators
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders the table to a string (used by tests); `print` writes stdout.
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure banner: "=== Figure 11: ... ===".
+void print_banner(const std::string& title);
+
+/// Prints one labelled CDF as "x  F(x)" rows over the given x points.
+void print_cdf(const std::string& label, const Sampler& sampler,
+               const std::vector<double>& points, int precision = 3);
+
+/// Builds n log-spaced points between lo and hi (inclusive), lo > 0.
+std::vector<double> log_points(double lo, double hi, std::size_t n);
+
+/// Builds n linearly spaced points between lo and hi (inclusive).
+std::vector<double> linear_points(double lo, double hi, std::size_t n);
+
+}  // namespace livesim::stats
+
+#endif  // LIVESIM_STATS_REPORT_H

@@ -1,0 +1,43 @@
+// Daily time series for the growth plots (Figures 1-2).
+#ifndef LIVESIM_STATS_TIMESERIES_H
+#define LIVESIM_STATS_TIMESERIES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "livesim/util/time.h"
+
+namespace livesim::stats {
+
+/// Counts events per simulated day; days index from 0.
+class DailySeries {
+ public:
+  explicit DailySeries(std::size_t days) : counts_(days, 0) {}
+
+  void add(TimeUs at, std::uint64_t n = 1) {
+    const auto day = time::day_index(at);
+    if (day >= 0 && static_cast<std::size_t>(day) < counts_.size())
+      counts_[static_cast<std::size_t>(day)] += n;
+  }
+
+  void add_day(std::size_t day, std::uint64_t n = 1) {
+    if (day < counts_.size()) counts_[day] += n;
+  }
+
+  std::size_t days() const noexcept { return counts_.size(); }
+  std::uint64_t at(std::size_t day) const { return counts_.at(day); }
+  const std::vector<std::uint64_t>& values() const noexcept { return counts_; }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace livesim::stats
+
+#endif  // LIVESIM_STATS_TIMESERIES_H

@@ -1,0 +1,54 @@
+#include "livesim/stats/validate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace livesim::stats {
+
+double ks_distance(const Sampler& sample,
+                   const std::function<double(double)>& reference_cdf) {
+  const auto& sorted = sample.sorted();
+  if (sorted.empty()) throw std::logic_error("ks_distance: empty sample");
+  const double n = static_cast<double>(sorted.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = reference_cdf(sorted[i]);
+    // Empirical CDF jumps at each order statistic: compare both sides.
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    worst = std::max(worst, std::max(std::abs(f - lo), std::abs(f - hi)));
+  }
+  return worst;
+}
+
+double chi_square(const std::vector<std::uint64_t>& observed,
+                  const std::vector<double>& expected_probability) {
+  if (observed.size() != expected_probability.size() || observed.empty())
+    throw std::invalid_argument("chi_square: size mismatch");
+  std::uint64_t total = 0;
+  for (auto c : observed) total += c;
+  if (total == 0) throw std::invalid_argument("chi_square: no observations");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        expected_probability[i] * static_cast<double>(total);
+    if (expected <= 0.0)
+      throw std::invalid_argument("chi_square: zero expected bin");
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double uniform_cdf(double x, double lo, double hi) {
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  return (x - lo) / (hi - lo);
+}
+
+double exponential_cdf(double x, double mean) {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-x / mean);
+}
+
+}  // namespace livesim::stats

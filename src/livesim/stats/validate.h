@@ -1,0 +1,30 @@
+// Distribution-validation helpers for property tests: quantify how far an
+// empirical sample sits from a reference distribution instead of spot-
+// checking a few moments.
+#ifndef LIVESIM_STATS_VALIDATE_H
+#define LIVESIM_STATS_VALIDATE_H
+
+#include <functional>
+
+#include "livesim/stats/sampler.h"
+
+namespace livesim::stats {
+
+/// Kolmogorov-Smirnov distance between the sample's empirical CDF and a
+/// reference CDF: sup_x |F_n(x) - F(x)|.
+double ks_distance(const Sampler& sample,
+                   const std::function<double(double)>& reference_cdf);
+
+/// Chi-square statistic of observed counts against expected probabilities
+/// (same length, probabilities should sum to ~1). Returns the statistic;
+/// degrees of freedom = bins - 1.
+double chi_square(const std::vector<std::uint64_t>& observed,
+                  const std::vector<double>& expected_probability);
+
+/// Convenience references.
+double uniform_cdf(double x, double lo, double hi);
+double exponential_cdf(double x, double mean);
+
+}  // namespace livesim::stats
+
+#endif  // LIVESIM_STATS_VALIDATE_H

@@ -1,0 +1,49 @@
+// Strongly typed identifiers.
+//
+// Broadcasts, users, datacenters etc. are all indexed by integers; the tag
+// parameter prevents accidentally passing a UserId where a BroadcastId is
+// expected, at zero runtime cost.
+#ifndef LIVESIM_UTIL_IDS_H
+#define LIVESIM_UTIL_IDS_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace livesim {
+
+template <typename Tag>
+struct Id {
+  std::uint64_t value = kInvalid;
+
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  constexpr bool valid() const noexcept { return value != kInvalid; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct BroadcastTag {};
+struct UserTag {};
+struct DatacenterTag {};
+struct ConnectionTag {};
+struct EventTag {};
+
+using BroadcastId = Id<BroadcastTag>;
+using UserId = Id<UserTag>;
+using DatacenterId = Id<DatacenterTag>;
+using ConnectionId = Id<ConnectionTag>;
+using EventId = Id<EventTag>;
+
+}  // namespace livesim
+
+template <typename Tag>
+struct std::hash<livesim::Id<Tag>> {
+  std::size_t operator()(livesim::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+#endif  // LIVESIM_UTIL_IDS_H

@@ -1,0 +1,88 @@
+// Deterministic random number generation for simulations.
+//
+// Every component that needs randomness owns an Rng (or a fork of one);
+// there is no global generator, so experiments are reproducible from a
+// single seed regardless of module initialization order.
+#ifndef LIVESIM_UTIL_RNG_H
+#define LIVESIM_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace livesim {
+
+/// xoshiro256** PRNG with convenience samplers for the distributions the
+/// workload models need. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Gaussian via Box-Muller (caches the spare deviate).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given mean (mean = 1/rate). Requires mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto (Lomax-free, classic): scale * U^(-1/shape), >= scale.
+  double pareto(double scale, double shape) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth / PTRS hybrid).
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Derives an independent generator; deterministic given this Rng's
+  /// current state. Use to hand child components their own streams.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Bounded Zipf sampler over {1, ..., n} with exponent `s`, using
+/// rejection-inversion (Hörmann & Derflinger) so construction is O(1)
+/// and sampling needs no per-rank tables even for n in the millions.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s > 0, s != 1 handled, s == 1 handled.
+  ZipfSampler(std::int64_t n, double s);
+
+  /// Draws a rank in [1, n]; rank 1 is the most probable.
+  std::int64_t sample(Rng& rng) const noexcept;
+
+  std::int64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_inv(double x) const noexcept;
+
+  std::int64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace livesim
+
+#endif  // LIVESIM_UTIL_RNG_H

@@ -1,0 +1,54 @@
+// Simulated-time primitives.
+//
+// The whole simulator runs on an integer microsecond clock: cheap to
+// compare, exactly reproducible, and fine-grained enough for the 40 ms
+// video frames and 0.1 s crawler polls the paper deals in.
+#ifndef LIVESIM_UTIL_TIME_H
+#define LIVESIM_UTIL_TIME_H
+
+#include <cstdint>
+
+namespace livesim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using TimeUs = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using DurationUs = std::int64_t;
+
+namespace time {
+
+inline constexpr DurationUs kMicrosecond = 1;
+inline constexpr DurationUs kMillisecond = 1'000;
+inline constexpr DurationUs kSecond = 1'000'000;
+inline constexpr DurationUs kMinute = 60 * kSecond;
+inline constexpr DurationUs kHour = 60 * kMinute;
+inline constexpr DurationUs kDay = 24 * kHour;
+
+/// Converts seconds (possibly fractional) to a microsecond duration.
+constexpr DurationUs from_seconds(double s) noexcept {
+  return static_cast<DurationUs>(s * static_cast<double>(kSecond));
+}
+
+/// Converts milliseconds (possibly fractional) to a microsecond duration.
+constexpr DurationUs from_millis(double ms) noexcept {
+  return static_cast<DurationUs>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Converts a microsecond duration to fractional seconds.
+constexpr double to_seconds(DurationUs d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a microsecond duration to fractional milliseconds.
+constexpr double to_millis(DurationUs d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Day index (0-based) of a time point, for daily time series.
+constexpr std::int64_t day_index(TimeUs t) noexcept { return t / kDay; }
+
+}  // namespace time
+}  // namespace livesim
+
+#endif  // LIVESIM_UTIL_TIME_H

@@ -1,0 +1,68 @@
+#include "livesim/workload/audience.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace livesim::workload {
+
+std::vector<JoinRecord> generate_audience(const AudienceParams& params) {
+  std::vector<JoinRecord> out;
+  out.reserve(params.total_viewers);
+  Rng rng(params.seed);
+  const double len = static_cast<double>(params.broadcast_len);
+  const double v = params.virality;
+
+  for (std::uint32_t i = 0; i < params.total_viewers; ++i) {
+    const double u = rng.uniform();
+    double frac;
+    if (v <= 1e-9) {
+      frac = u;  // uniform arrivals
+    } else {
+      // Arrival density proportional to exp(v * t/L): inverse-CDF sample.
+      frac = std::log(1.0 + u * (std::exp(v) - 1.0)) / v;
+    }
+    JoinRecord r;
+    r.join = static_cast<TimeUs>(frac * len);
+    const double watch_s = rng.lognormal(std::log(params.median_watch_s),
+                                         params.watch_sigma);
+    const DurationUs remaining = params.broadcast_len - r.join;
+    r.stay = std::min<DurationUs>(time::from_seconds(watch_s), remaining);
+    if (r.stay < 1) r.stay = 1;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JoinRecord& a, const JoinRecord& b) {
+              return a.join < b.join;
+            });
+  return out;
+}
+
+ConcurrencyCurve concurrency(const std::vector<JoinRecord>& audience,
+                             DurationUs broadcast_len, DurationUs bin) {
+  ConcurrencyCurve curve;
+  curve.bin = bin;
+  const auto bins = static_cast<std::size_t>(broadcast_len / bin) + 1;
+  // Difference array over bins: +1 at join, -1 after leave.
+  std::vector<std::int64_t> delta(bins + 1, 0);
+  for (const auto& r : audience) {
+    const auto j = static_cast<std::size_t>(r.join / bin);
+    auto l = static_cast<std::size_t>((r.join + r.stay) / bin) + 1;
+    if (l > bins) l = bins;
+    delta[j] += 1;
+    delta[l] -= 1;
+  }
+  curve.concurrent.resize(bins);
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    running += delta[i];
+    curve.concurrent[i] = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        0, running));
+    if (curve.concurrent[i] > curve.peak) {
+      curve.peak = curve.concurrent[i];
+      curve.peak_at = static_cast<TimeUs>(i) * bin;
+    }
+  }
+  return curve;
+}
+
+}  // namespace livesim::workload

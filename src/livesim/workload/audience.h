@@ -1,0 +1,56 @@
+// Audience dynamics for a single broadcast: when viewers join, how long
+// they stay, and the resulting concurrent-audience curve.
+//
+// §3.2's motivating anecdote: "a single Periscope of a large rain puddle
+// collected hundreds of thousands of viewers, and had more than 20,000
+// simultaneous viewers at its peak." The concurrency curve is what the
+// delivery infrastructure actually has to carry at any instant -- and,
+// combined with the first-100 slot policy, determines who ever gets to
+// interact.
+#ifndef LIVESIM_WORKLOAD_AUDIENCE_H
+#define LIVESIM_WORKLOAD_AUDIENCE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "livesim/util/rng.h"
+#include "livesim/util/time.h"
+
+namespace livesim::workload {
+
+struct AudienceParams {
+  std::uint32_t total_viewers = 1000;
+  DurationUs broadcast_len = 10 * time::kMinute;
+  /// 0 = uniform arrivals over the broadcast; > 0 = word-of-mouth ramp
+  /// (arrival rate grows exponentially as the stream goes viral).
+  double virality = 0.0;
+  /// Watch time: lognormal with this median, truncated to the remaining
+  /// broadcast.
+  double median_watch_s = 90.0;
+  double watch_sigma = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct JoinRecord {
+  TimeUs join = 0;        // relative to broadcast start
+  DurationUs stay = 0;
+};
+
+/// Samples an audience; records are sorted by join time.
+std::vector<JoinRecord> generate_audience(const AudienceParams& params);
+
+struct ConcurrencyCurve {
+  DurationUs bin = time::kSecond;
+  std::vector<std::uint32_t> concurrent;  // per bin
+  std::uint32_t peak = 0;
+  TimeUs peak_at = 0;
+};
+
+/// Sweeps the join/leave events into a concurrent-viewers time series.
+ConcurrencyCurve concurrency(const std::vector<JoinRecord>& audience,
+                             DurationUs broadcast_len,
+                             DurationUs bin = time::kSecond);
+
+}  // namespace livesim::workload
+
+#endif  // LIVESIM_WORKLOAD_AUDIENCE_H

@@ -1,0 +1,177 @@
+#include "livesim/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace livesim::workload {
+
+std::uint64_t Dataset::total_views() const {
+  std::uint64_t v = 0;
+  for (const auto& b : broadcasts)
+    if (b.captured) v += b.total_viewers();
+  return v;
+}
+
+std::uint64_t Dataset::captured_broadcasts() const {
+  std::uint64_t n = 0;
+  for (const auto& b : broadcasts) n += b.captured ? 1 : 0;
+  return n;
+}
+
+std::uint64_t Dataset::unique_broadcasters() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(broadcasts.size());
+  for (const auto& b : broadcasts)
+    if (b.captured) ids.push_back(b.broadcaster.value);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+std::uint64_t estimate_registered_users(const Dataset& dataset) {
+  std::uint64_t max_id = 0;
+  for (const auto& b : dataset.broadcasts) {
+    if (!b.captured) continue;
+    max_id = std::max(max_id, b.broadcaster.value);
+  }
+  return max_id + 1;  // ids are 0-based ranks
+}
+
+namespace {
+std::uint32_t scaled_population(const AppProfile& p, double scale) {
+  const auto pop = static_cast<std::uint32_t>(
+      static_cast<double>(p.population) * scale);
+  return std::max<std::uint32_t>(pop, 2000);
+}
+}  // namespace
+
+Generator::Generator(AppProfile profile, double scale, std::uint64_t seed)
+    : profile_(std::move(profile)), scale_(scale), rng_(seed),
+      population_(scaled_population(profile_, scale)),
+      // Creators are a skewed subset of the population (views are
+      // distributed separately with lognormal weights; see generate()).
+      broadcaster_sampler_(population_, profile_.broadcaster_zipf_s) {}
+
+std::uint32_t Generator::sample_viewers(Rng& rng) {
+  if (rng.bernoulli(profile_.zero_viewer_fraction)) return 0;
+  double v;
+  if (rng.bernoulli(profile_.tail_fraction)) {
+    v = rng.pareto(profile_.tail_scale, profile_.tail_shape);
+  } else {
+    v = rng.lognormal(profile_.viewers_mu, profile_.viewers_sigma);
+  }
+  v = std::min(v, profile_.max_viewers);
+  return static_cast<std::uint32_t>(v);
+}
+
+void Generator::fill_interactions(BroadcastRecord& b, Rng& rng) {
+  const std::uint32_t viewers = b.total_viewers();
+  if (viewers == 0) return;
+
+  // Comments: only the first `commenter_cap` joiners may comment (cap 0
+  // means uncapped, as on Meerkat where comments ride Twitter).
+  const std::uint32_t slots =
+      profile_.commenter_cap > 0 ? std::min(viewers, profile_.commenter_cap)
+                                 : viewers;
+  const auto commenters = static_cast<std::uint32_t>(std::min<double>(
+      slots,
+      rng.poisson(static_cast<double>(slots) * profile_.comment_engagement)));
+  double comments = 0;
+  if (commenters > 0)
+    comments = commenters * rng.lognormal(profile_.comments_per_commenter_mu,
+                                          profile_.comments_per_commenter_sigma);
+  b.comments = static_cast<std::uint32_t>(comments);
+
+  // Hearts: any viewer can send them, engaged viewers send bursts.
+  const double engaged =
+      static_cast<double>(viewers) * profile_.heart_engagement;
+  if (engaged >= 1.0) {
+    const double per_viewer = rng.lognormal(profile_.hearts_per_viewer_mu,
+                                            profile_.hearts_per_viewer_sigma);
+    b.hearts = static_cast<std::uint64_t>(engaged * per_viewer);
+  }
+}
+
+BroadcastRecord Generator::make_broadcast(std::uint32_t day, Rng& rng) {
+  BroadcastRecord b;
+  b.id = BroadcastId{next_broadcast_id_++};
+  b.day = day;
+  b.start = static_cast<TimeUs>(day) * time::kDay +
+            static_cast<TimeUs>(rng.uniform() *
+                                static_cast<double>(time::kDay));
+
+  const double dur = std::clamp(
+      rng.lognormal(profile_.duration_mu, profile_.duration_sigma),
+      profile_.duration_min_s, profile_.duration_max_s);
+  b.length = time::from_seconds(dur);
+
+  b.broadcaster = UserId{
+      static_cast<std::uint64_t>(broadcaster_sampler_.sample(rng) - 1)};
+
+  // Followers: heavy-tailed; the broadcaster's Zipf rank reuses the same
+  // skew so prolific broadcasters also tend to be followed (celebrities).
+  const double base_followers = rng.pareto(2.0, 0.85);
+  b.followers = static_cast<std::uint32_t>(
+      std::min(base_followers, 2.0e6 * scale_ + 1000.0));
+
+  // Viewers: organic discovery plus follower-driven audience (Fig 7).
+  const double organic = sample_viewers(rng);
+  const double follower_driven =
+      profile_.follower_coupling *
+      std::pow(static_cast<double>(b.followers), profile_.follower_gamma) *
+      rng.lognormal(0.0, 0.8);
+  const double total =
+      std::min(organic + follower_driven, profile_.max_viewers);
+  const double web_share = profile_.web_view_multiplier /
+                           (1.0 + profile_.web_view_multiplier);
+  b.web_viewers = static_cast<std::uint32_t>(total * web_share);
+  b.mobile_viewers = static_cast<std::uint32_t>(total) - b.web_viewers;
+
+  fill_interactions(b, rng);
+  return b;
+}
+
+Dataset Generator::generate() {
+  Dataset ds;
+  ds.profile = profile_;
+  ds.scale = scale_;
+  ds.users.resize(population_);
+
+  std::uint64_t total_mobile_views = 0;
+  for (std::uint32_t day = 0; day < profile_.days; ++day) {
+    const double expected = profile_.daily_volume(day) * scale_ *
+                            rng_.lognormal(0.0, profile_.daily_noise);
+    const auto count = static_cast<std::uint64_t>(expected);
+    const double capture = profile_.capture_fraction(day);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      BroadcastRecord b = make_broadcast(day, rng_);
+      b.captured = rng_.bernoulli(capture);
+      if (b.captured) {
+        ds.users[b.broadcaster.value].broadcasts_created += 1;
+        total_mobile_views += b.mobile_viewers;
+      }
+      ds.broadcasts.push_back(b);
+    }
+  }
+
+  // Distribute mobile views over the user population with lognormal
+  // weights, preserving the total. The sigma is chosen so the top 15% of
+  // viewers watch ~10x the median user (Fig 6).
+  std::vector<double> weights(population_);
+  double weight_sum = 0.0;
+  for (auto& w : weights) {
+    w = rng_.bernoulli(profile_.viewer_inactive_fraction)
+            ? 0.0
+            : rng_.lognormal(0.0, profile_.views_per_user_sigma);
+    weight_sum += w;
+  }
+  for (std::uint32_t u = 0; u < population_; ++u) {
+    const double mean =
+        static_cast<double>(total_mobile_views) * weights[u] / weight_sum;
+    ds.users[u].broadcasts_viewed =
+        static_cast<std::uint32_t>(rng_.poisson(mean));
+  }
+  return ds;
+}
+
+}  // namespace livesim::workload

@@ -1,0 +1,94 @@
+#include "livesim/workload/profiles.h"
+
+#include <cmath>
+
+namespace livesim::workload {
+
+AppProfile AppProfile::periscope() {
+  AppProfile p;
+  p.name = "Periscope";
+  p.days = 98;  // May 15 .. Aug 20, 2015
+  p.base_daily_broadcasts = 80000;
+  p.growth_total = 3.3;
+  p.weekly_amplitude = 0.12;
+  p.step_day = 11;  // Android launch, May 26
+  p.step_multiplier = 1.35;
+  p.daily_noise = 0.04;
+  p.outage_start_day = 84;  // Aug 7-9 crawler bug
+  p.outage_days = 3;
+  p.outage_capture_fraction = 0.35;
+
+  p.duration_mu = std::log(150.0);  // median ~2.5 min
+  p.duration_sigma = 1.25;          // P85 ~ 10 min
+
+  p.zero_viewer_fraction = 0.02;
+  p.viewers_mu = std::log(10.5);
+  p.viewers_sigma = 1.35;
+  p.tail_fraction = 0.0005;
+  p.tail_scale = 2500.0;
+  p.tail_shape = 1.05;
+  p.max_viewers = 150000.0;
+  p.web_view_multiplier = 0.46;  // 223M web / 482M mobile
+
+  p.hearts_per_viewer_mu = 3.1;
+  p.broadcaster_zipf_s = 1.22;
+  p.commenter_cap = 100;
+  p.population = 12000000;  // registered users; scaled in generation
+  return p;
+}
+
+AppProfile AppProfile::meerkat() {
+  AppProfile p;
+  p.name = "Meerkat";
+  p.days = 35;  // May 12 .. Jun 15, 2015
+  p.base_daily_broadcasts = 7300;
+  p.growth_total = 0.48;  // halves over the month
+  p.weekly_amplitude = 0.03;  // weekly pattern barely visible
+  p.step_day = -1;
+  p.daily_noise = 0.12;
+
+  p.duration_mu = std::log(110.0);
+  p.duration_sigma = 1.6;  // more skew: a few very long streams
+
+  p.zero_viewer_fraction = 0.60;  // 60% of broadcasts get no viewers
+  p.viewers_mu = std::log(20.0);
+  p.viewers_sigma = 1.4;
+  p.follower_coupling = 0.02;  // Twitter graph API was cut off
+  p.tail_fraction = 0.0005;
+  p.tail_scale = 800.0;
+  p.tail_shape = 1.2;
+  p.max_viewers = 20000.0;
+  p.web_view_multiplier = 0.18;
+
+  p.broadcaster_zipf_s = 0.85;
+  p.commenter_cap = 0;  // comments are tweets; no first-100 cap
+  p.comment_engagement = 0.10;
+  p.heart_engagement = 0.20;
+  p.population = 190000;
+  return p;
+}
+
+double AppProfile::daily_volume(std::uint32_t day) const {
+  const double frac =
+      days > 1 ? static_cast<double>(day) / static_cast<double>(days - 1)
+               : 0.0;
+  // Exponential interpolation to the total growth multiplier.
+  double v = base_daily_broadcasts * std::pow(growth_total, frac);
+  // Weekly pattern: peak on weekends (day 0 = Friday May 15 for Periscope;
+  // the phase detail is immaterial, the periodicity is what Fig 1 shows).
+  v *= 1.0 + weekly_amplitude *
+                 std::sin(2.0 * M_PI * (static_cast<double>(day) + 1.5) / 7.0);
+  if (step_day >= 0 && static_cast<std::int32_t>(day) >= step_day)
+    v *= step_multiplier;
+  return v;
+}
+
+double AppProfile::capture_fraction(std::uint32_t day) const {
+  if (outage_start_day >= 0 &&
+      static_cast<std::int32_t>(day) >= outage_start_day &&
+      static_cast<std::int32_t>(day) < outage_start_day + outage_days)
+    return outage_capture_fraction;
+  return 1.0;
+}
+
+}  // namespace livesim::workload

@@ -1,0 +1,89 @@
+// Application workload profiles, calibrated to the paper's §3 findings.
+//
+// Periscope (measured May 15 - Aug 20, 2015):
+//  * daily broadcasts grew >300% over 3 months, with a step jump when the
+//    Android app launched (May 26) and weekly peaks on weekends;
+//  * ~19.6M broadcasts, 1.85M broadcasters, 705M views (482M mobile from
+//    7.65M registered viewers), 12M registered users;
+//  * 85% of broadcasts < 10 min; nearly all have >= 1 viewer, the most
+//    popular reach ~100K; ~10% get >100 comments and >1000 hearts (max
+//    1.35M hearts); viewer:broadcaster DAU ratio ~10:1.
+//
+// Meerkat (May 12 - Jun 15, 2015):
+//  * daily broadcasts halved within the month (Twitter cut its graph API);
+//  * 164K broadcasts, 57K broadcasters, 3.8M views; 60% of broadcasts get
+//    zero viewers.
+#ifndef LIVESIM_WORKLOAD_PROFILES_H
+#define LIVESIM_WORKLOAD_PROFILES_H
+
+#include <cstdint>
+#include <string>
+
+namespace livesim::workload {
+
+struct AppProfile {
+  std::string name;
+  std::uint32_t days = 98;
+
+  // Daily broadcast volume model:
+  //   volume(d) = base * growth(d) * weekly(d) * step(d)
+  double base_daily_broadcasts = 80000;
+  double growth_total = 3.3;        // multiplier from day 0 to last day
+  double weekly_amplitude = 0.12;   // weekend peak vs weekday trough
+  std::int32_t step_day = -1;       // app-launch style jump (-1: none)
+  double step_multiplier = 1.0;
+  double daily_noise = 0.05;        // lognormal day-to-day wiggle
+
+  // Crawler outage (Periscope: Aug 7-9, ~4.5% of that period missing).
+  std::int32_t outage_start_day = -1;
+  std::int32_t outage_days = 0;
+  double outage_capture_fraction = 1.0;
+
+  // Broadcast duration: lognormal, clamped to [min,max].
+  double duration_mu = 0.0;       // ln(seconds)
+  double duration_sigma = 1.0;
+  double duration_min_s = 10.0;
+  double duration_max_s = 24.0 * 3600.0;
+
+  // Viewers per broadcast: zero-inflated lognormal with Pareto tail.
+  double zero_viewer_fraction = 0.0;
+  double viewers_mu = 2.3;        // ln(viewers) for the lognormal body
+  double viewers_sigma = 1.5;
+  double tail_fraction = 0.002;   // broadcasts drawing from the Pareto tail
+  double tail_scale = 2000.0;
+  double tail_shape = 1.1;
+  double max_viewers = 150000.0;
+  double web_view_multiplier = 0.46;  // anonymous web views per mobile view
+
+  // Interactions.
+  std::uint32_t commenter_cap = 100;  // Periscope's first-100 policy
+  double comment_engagement = 0.45;   // P(a commenter-slot user comments)
+  double comments_per_commenter_mu = 1.0;
+  double comments_per_commenter_sigma = 1.0;
+  double heart_engagement = 0.35;     // P(a viewer sends any hearts)
+  double hearts_per_viewer_mu = 2.2;  // ln(hearts) among engaged viewers
+  double hearts_per_viewer_sigma = 1.3;
+
+  // User population for activity distributions.
+  std::uint32_t population = 1200000;
+  double views_per_user_sigma = 2.5;   // "top 15% watch 10x the median"
+  double viewer_inactive_fraction = 0.36;  // registered but never watch
+  double creates_per_user_sigma = 1.5;
+  double broadcaster_zipf_s = 1.1;     // skew of creates over users
+
+  // Social coupling (Fig 7): viewers ~ followers^gamma * noise + organic.
+  double follower_gamma = 0.75;
+  double follower_coupling = 0.30;
+
+  static AppProfile periscope();
+  static AppProfile meerkat();
+
+  /// Expected capture-able broadcast volume on day d (before scaling).
+  double daily_volume(std::uint32_t day) const;
+  /// Fraction of that day's broadcasts the crawler captured.
+  double capture_fraction(std::uint32_t day) const;
+};
+
+}  // namespace livesim::workload
+
+#endif  // LIVESIM_WORKLOAD_PROFILES_H

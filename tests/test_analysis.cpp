@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "livesim/analysis/experiments.h"
+
+namespace livesim::analysis {
+namespace {
+
+TraceSetConfig small_config() {
+  TraceSetConfig cfg;
+  cfg.broadcasts = 120;
+  cfg.broadcast_len = time::kMinute;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Traces, GenerateBasicInvariants) {
+  const auto traces = generate_traces(small_config());
+  ASSERT_EQ(traces.size(), 120u);
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.frame_arrivals.size(), 1500u);  // 60 s at 25 fps
+    // Frame arrivals monotone non-decreasing (FIFO upload).
+    for (std::size_t i = 1; i < t.frame_arrivals.size(); ++i)
+      ASSERT_LE(t.frame_arrivals[i - 1], t.frame_arrivals[i]);
+    // Chunks cover the stream in order with ~3 s media each.
+    ASSERT_GE(t.chunks.size(), 15u);
+    for (std::size_t i = 0; i < t.chunks.size(); ++i) {
+      ASSERT_GT(t.chunks[i].duration, 0);
+      if (i > 0) {
+        ASSERT_GT(t.chunks[i].completed_at_ingest,
+                  t.chunks[i - 1].completed_at_ingest);
+        ASSERT_EQ(t.chunks[i].media_start,
+                  t.chunks[i - 1].media_start + t.chunks[i - 1].duration);
+      }
+    }
+  }
+}
+
+TEST(Traces, BurstyFractionRespected) {
+  auto cfg = small_config();
+  cfg.broadcasts = 400;
+  const auto traces = generate_traces(cfg);
+  int bursty = 0;
+  for (const auto& t : traces) bursty += t.bursty ? 1 : 0;
+  const double frac = static_cast<double>(bursty) / 400.0;
+  EXPECT_NEAR(frac, cfg.bursty_fraction + cfg.slow_start_fraction, 0.07);
+}
+
+TEST(Traces, ChunkTargetControlsDuration) {
+  auto cfg = small_config();
+  cfg.chunk_target = 5 * time::kSecond;
+  const auto traces = generate_traces(cfg);
+  stats::Accumulator dur;
+  for (const auto& t : traces)
+    for (std::size_t i = 0; i + 1 < t.chunks.size(); ++i)  // skip flush tail
+      dur.add(time::to_seconds(t.chunks[i].duration));
+  EXPECT_NEAR(dur.mean(), 5.0, 0.6);
+}
+
+TEST(Polling, MeanIsHalfIntervalOffResonance) {
+  const auto traces = generate_traces(small_config());
+  const auto r2 = polling_experiment(traces, 2 * time::kSecond,
+                                     300 * time::kMillisecond, 9);
+  const auto r4 = polling_experiment(traces, 4 * time::kSecond,
+                                     300 * time::kMillisecond, 9);
+  EXPECT_NEAR(r2.per_broadcast_mean_s.mean(), 1.0, 0.15);
+  EXPECT_NEAR(r4.per_broadcast_mean_s.mean(), 2.0, 0.3);
+}
+
+TEST(Polling, ResonantIntervalSpreadsAcrossBroadcasts) {
+  auto cfg = small_config();
+  cfg.broadcasts = 300;
+  const auto traces = generate_traces(cfg);
+  auto spread = [&](DurationUs interval) {
+    const auto r = polling_experiment(traces, interval,
+                                      300 * time::kMillisecond, 9);
+    return r.per_broadcast_mean_s.quantile(0.9) -
+           r.per_broadcast_mean_s.quantile(0.1);
+  };
+  EXPECT_GT(spread(3 * time::kSecond), 2.0 * spread(2 * time::kSecond));
+}
+
+TEST(Buffering, RtmpMonotoneInPreBuffer) {
+  const auto traces = generate_traces(small_config());
+  double prev_delay = -1;
+  for (DurationUs p : {0L, 500 * time::kMillisecond, 1 * time::kSecond}) {
+    const auto r = rtmp_buffering_experiment(traces, p, 3);
+    EXPECT_GE(r.mean_delay_s.mean(), prev_delay);
+    prev_delay = r.mean_delay_s.mean();
+  }
+}
+
+TEST(Buffering, HlsHeadlineResult) {
+  auto cfg = small_config();
+  cfg.broadcasts = 300;
+  const auto traces = generate_traces(cfg);
+  const DurationUs poll = time::from_seconds(2.8);
+  const auto p6 = hls_buffering_experiment(traces, 6 * time::kSecond, poll, 3);
+  const auto p9 = hls_buffering_experiment(traces, 9 * time::kSecond, poll, 3);
+  // Similar smoothness...
+  EXPECT_LT(p6.stall_ratio.quantile(0.9) - p9.stall_ratio.quantile(0.9),
+            0.03);
+  // ...at roughly half the buffering delay.
+  EXPECT_NEAR(p6.mean_delay_s.median() / p9.mean_delay_s.median(), 0.5, 0.12);
+}
+
+TEST(Buffering, HlsZeroPreBufferStalls) {
+  const auto traces = generate_traces(small_config());
+  const DurationUs poll = time::from_seconds(2.8);
+  const auto p0 = hls_buffering_experiment(traces, 0, poll, 3);
+  const auto p9 = hls_buffering_experiment(traces, 9 * time::kSecond, poll, 3);
+  EXPECT_GT(p0.stall_ratio.mean(), 5.0 * (p9.stall_ratio.mean() + 1e-6));
+}
+
+TEST(W2F, BucketsOrderedByDistance) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  const auto buckets = w2f_experiment(catalog, 40, 2);
+  ASSERT_EQ(buckets.size(), 5u);
+  double prev = 0.0;
+  for (const auto& b : buckets) {
+    if (b.delay_s.empty()) continue;
+    EXPECT_GT(b.delay_s.mean(), prev) << b.label;
+    prev = b.delay_s.mean();
+  }
+  // The co-located vs nearby gap.
+  EXPECT_GT(buckets[1].delay_s.median() - buckets[0].delay_s.median(), 0.2);
+}
+
+TEST(Breakdown, MatchesFigure11Shape) {
+  const auto r = delay_breakdown_experiment(3, 77);
+  EXPECT_NEAR(r.rtmp.total_s(), 1.4, 0.5);
+  EXPECT_NEAR(r.hls.total_s(), 11.0, 2.5);
+  EXPECT_GT(r.hls.total_s() / r.rtmp.total_s(), 5.0);
+}
+
+TEST(Breakdown, Deterministic) {
+  const auto a = delay_breakdown_experiment(2, 5);
+  const auto b = delay_breakdown_experiment(2, 5);
+  EXPECT_DOUBLE_EQ(a.hls.total_s(), b.hls.total_s());
+  EXPECT_DOUBLE_EQ(a.rtmp.total_s(), b.rtmp.total_s());
+}
+
+}  // namespace
+}  // namespace livesim::analysis

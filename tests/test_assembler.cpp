@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "livesim/protocol/assembler.h"
+#include "livesim/util/rng.h"
+
+namespace livesim::protocol {
+namespace {
+
+std::vector<std::uint8_t> sample_stream(int messages, Rng& rng) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < messages; ++i) {
+    RtmpVideoFrame f;
+    f.frame_seq = static_cast<std::uint64_t>(i);
+    f.capture_ts_us = i * 40000;
+    f.payload.resize(static_cast<std::size_t>(rng.uniform_int(0, 300)));
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    RtmpMessage msg{RtmpMessageType::kVideoFrame, encode_video(f)};
+    const auto wire = encode_message(msg);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  return stream;
+}
+
+TEST(Assembler, WholeMessagesPassThrough) {
+  MessageAssembler asm_;
+  RtmpMessage msg{RtmpMessageType::kConnect, {1, 2, 3}};
+  const auto out = asm_.feed(encode_message(msg));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, RtmpMessageType::kConnect);
+  EXPECT_EQ(out[0].body, msg.body);
+  EXPECT_EQ(asm_.buffered_bytes(), 0u);
+}
+
+TEST(Assembler, ByteAtATime) {
+  MessageAssembler asm_;
+  RtmpMessage msg{RtmpMessageType::kVideoFrame, {9, 8, 7, 6, 5}};
+  const auto wire = encode_message(msg);
+  std::vector<RtmpMessage> got;
+  for (std::uint8_t byte : wire) {
+    auto out = asm_.feed(std::span<const std::uint8_t>(&byte, 1));
+    for (auto& m : out) got.push_back(std::move(m));
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].body, msg.body);
+}
+
+TEST(Assembler, MultipleMessagesInOneFragment) {
+  MessageAssembler asm_;
+  Rng rng(1);
+  const auto stream = sample_stream(7, rng);
+  const auto out = asm_.feed(stream);
+  EXPECT_EQ(out.size(), 7u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto v = decode_video(out[i].body);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->frame_seq, i);
+  }
+}
+
+TEST(Assembler, CorruptTypeByteSetsCorrupted) {
+  MessageAssembler asm_;
+  const std::vector<std::uint8_t> junk{0x7F, 0, 0, 0, 1, 0};
+  EXPECT_TRUE(asm_.feed(junk).empty());
+  EXPECT_TRUE(asm_.corrupted());
+  // Everything after corruption is dropped.
+  RtmpMessage msg{RtmpMessageType::kConnect, {}};
+  EXPECT_TRUE(asm_.feed(encode_message(msg)).empty());
+}
+
+TEST(Assembler, InsaneLengthPrefixSetsCorrupted) {
+  MessageAssembler asm_;
+  std::vector<std::uint8_t> evil{
+      static_cast<std::uint8_t>(RtmpMessageType::kVideoFrame),
+      0xFF, 0xFF, 0xFF, 0xFF};  // 4 GB body claim
+  EXPECT_TRUE(asm_.feed(evil).empty());
+  EXPECT_TRUE(asm_.corrupted());
+}
+
+TEST(Assembler, EmptyFeedIsNoop) {
+  MessageAssembler asm_;
+  EXPECT_TRUE(asm_.feed({}).empty());
+  EXPECT_FALSE(asm_.corrupted());
+}
+
+class SegmentationProperty : public ::testing::TestWithParam<int> {};
+
+// Property: any segmentation of a valid stream reassembles identically.
+TEST_P(SegmentationProperty, ArbitrarySegmentationReassembles) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int kMessages = 40;
+  const auto stream = sample_stream(kMessages, rng);
+
+  MessageAssembler asm_;
+  std::vector<RtmpMessage> got;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const auto take = static_cast<std::size_t>(std::min<std::int64_t>(
+        rng.uniform_int(1, 600),
+        static_cast<std::int64_t>(stream.size() - pos)));
+    auto out = asm_.feed(std::span<const std::uint8_t>(
+        stream.data() + pos, take));
+    for (auto& m : out) got.push_back(std::move(m));
+    pos += take;
+  }
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(asm_.buffered_bytes(), 0u);
+  EXPECT_FALSE(asm_.corrupted());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const auto v = decode_video(got[i].body);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->frame_seq, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentationProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace livesim::protocol

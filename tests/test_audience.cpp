@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "livesim/workload/audience.h"
+
+namespace livesim::workload {
+namespace {
+
+TEST(Audience, GeneratesRequestedViewersSorted) {
+  AudienceParams p;
+  p.total_viewers = 500;
+  p.seed = 3;
+  const auto joins = generate_audience(p);
+  ASSERT_EQ(joins.size(), 500u);
+  for (std::size_t i = 1; i < joins.size(); ++i)
+    ASSERT_LE(joins[i - 1].join, joins[i].join);
+  for (const auto& r : joins) {
+    ASSERT_GE(r.join, 0);
+    ASSERT_LT(r.join, p.broadcast_len);
+    ASSERT_GE(r.stay, 1);
+    ASSERT_LE(r.join + r.stay, p.broadcast_len);
+  }
+}
+
+TEST(Audience, Deterministic) {
+  AudienceParams p;
+  p.seed = 4;
+  const auto a = generate_audience(p);
+  const auto b = generate_audience(p);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[10].join, b[10].join);
+  EXPECT_EQ(a[10].stay, b[10].stay);
+}
+
+TEST(Audience, ViralityShiftsArrivalsLate) {
+  AudienceParams uniform, viral;
+  uniform.total_viewers = viral.total_viewers = 4000;
+  uniform.virality = 0.0;
+  viral.virality = 5.0;
+  uniform.seed = viral.seed = 5;
+  const auto u = generate_audience(uniform);
+  const auto v = generate_audience(viral);
+  auto late_fraction = [](const std::vector<JoinRecord>& joins,
+                          DurationUs len) {
+    std::size_t late = 0;
+    for (const auto& r : joins)
+      if (r.join > len / 2) ++late;
+    return static_cast<double>(late) / static_cast<double>(joins.size());
+  };
+  EXPECT_NEAR(late_fraction(u, uniform.broadcast_len), 0.5, 0.05);
+  EXPECT_GT(late_fraction(v, viral.broadcast_len), 0.75);
+}
+
+TEST(Concurrency, HandBuiltCase) {
+  // Two viewers overlapping for one bin.
+  std::vector<JoinRecord> joins = {
+      {0, 2 * time::kSecond},
+      {1 * time::kSecond, 2 * time::kSecond},
+  };
+  const auto curve = concurrency(joins, 5 * time::kSecond);
+  ASSERT_GE(curve.concurrent.size(), 5u);
+  EXPECT_EQ(curve.concurrent[0], 1u);
+  EXPECT_EQ(curve.concurrent[1], 2u);  // overlap
+  EXPECT_EQ(curve.concurrent[2], 2u);  // second still watching thru bin 2
+  EXPECT_EQ(curve.concurrent[4], 0u);
+  EXPECT_EQ(curve.peak, 2u);
+  EXPECT_EQ(curve.peak_at, 1 * time::kSecond);
+}
+
+TEST(Concurrency, PeakBoundedByTotal) {
+  AudienceParams p;
+  p.total_viewers = 3000;
+  p.virality = 4.0;
+  p.median_watch_s = 120;
+  p.seed = 6;
+  const auto joins = generate_audience(p);
+  const auto curve = concurrency(joins, p.broadcast_len);
+  EXPECT_LE(curve.peak, p.total_viewers);
+  EXPECT_GT(curve.peak, p.total_viewers / 50);
+  // Viral stream peaks in the later half.
+  EXPECT_GT(curve.peak_at, p.broadcast_len / 2);
+}
+
+TEST(Concurrency, LongerWatchTimesRaisePeak) {
+  AudienceParams shortw, longw;
+  shortw.total_viewers = longw.total_viewers = 5000;
+  shortw.median_watch_s = 30;
+  longw.median_watch_s = 300;
+  shortw.seed = longw.seed = 7;
+  const auto ps = concurrency(generate_audience(shortw),
+                              shortw.broadcast_len).peak;
+  const auto pl = concurrency(generate_audience(longw),
+                              longw.broadcast_len).peak;
+  EXPECT_GT(pl, 2 * ps);
+}
+
+}  // namespace
+}  // namespace livesim::workload

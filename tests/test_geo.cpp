@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "livesim/geo/datacenters.h"
+#include "livesim/geo/geo.h"
+
+namespace livesim::geo {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  const GeoPoint p{37.77, -122.42};
+  EXPECT_NEAR(haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Haversine, KnownDistances) {
+  const GeoPoint sf{37.77, -122.42}, nyc{40.71, -74.01};
+  EXPECT_NEAR(haversine_km(sf, nyc), 4130.0, 60.0);
+  const GeoPoint london{51.51, -0.13}, tokyo{35.68, 139.69};
+  EXPECT_NEAR(haversine_km(london, tokyo), 9560.0, 120.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{10.0, 20.0}, b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(LatencyModel, MeanGrowsWithDistance) {
+  LatencyModel m;
+  EXPECT_LT(m.mean_delay(100.0), m.mean_delay(1000.0));
+  EXPECT_LT(m.mean_delay(1000.0), m.mean_delay(10000.0));
+}
+
+TEST(LatencyModel, ZeroDistanceIsBaseDelay) {
+  LatencyModel m;
+  EXPECT_EQ(m.mean_delay(0.0), m.params().base);
+}
+
+TEST(LatencyModel, SampleAtLeastBase) {
+  LatencyModel m;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(m.sample_delay(500.0, rng), m.params().base);
+}
+
+TEST(LatencyModel, SampleNearMeanOnAverage) {
+  LatencyModel m;
+  Rng rng(6);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(m.sample_delay(3000.0, rng));
+  const double mean_sampled = sum / n;
+  const double mean_model = static_cast<double>(m.mean_delay(3000.0));
+  // Jitter is one-sided; the sample mean sits a bit above the model mean.
+  EXPECT_GT(mean_sampled, mean_model);
+  EXPECT_LT(mean_sampled, mean_model * 1.25);
+}
+
+TEST(Catalog, PaperFootprintCounts) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  EXPECT_EQ(c.ingest_sites().size(), 8u);   // Wowza on 8 EC2 regions
+  EXPECT_EQ(c.edge_sites().size(), 23u);    // Fastly's 2015 footprint
+}
+
+TEST(Catalog, SixOfEightIngestSitesColocated) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  int colocated = 0, same_continent = 0;
+  for (const auto* ingest : c.ingest_sites()) {
+    const auto* edge = c.colocated_edge(ingest->id);
+    if (edge != nullptr) {
+      ++colocated;
+      EXPECT_EQ(edge->city, ingest->city);
+    }
+    // Same-continent: any edge on the ingest's continent?
+    for (const auto* e : c.edge_sites()) {
+      if (e->continent == ingest->continent) {
+        ++same_continent;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(colocated, 6);        // the paper's "6 out of 8"
+  EXPECT_EQ(same_continent, 7);   // "7 out of 8", Sao Paulo the exception
+}
+
+TEST(Catalog, SaoPauloHasNoColocatedEdge) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  for (const auto* ingest : c.ingest_sites()) {
+    if (ingest->city == "Sao Paulo") {
+      EXPECT_EQ(c.colocated_edge(ingest->id), nullptr);
+    }
+  }
+}
+
+TEST(Catalog, NearestPicksLocalSite) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  // Broadcaster in Santa Barbara -> San Jose ingest (the paper's own
+  // controlled-experiment geometry).
+  const auto& ingest = c.nearest({34.42, -119.70}, CdnRole::kIngest);
+  EXPECT_EQ(ingest.city, "San Jose");
+  // Viewer in Berlin -> Frankfurt edge via anycast.
+  const auto& edge = c.nearest({52.52, 13.40}, CdnRole::kEdge);
+  EXPECT_EQ(edge.city, "Frankfurt");
+}
+
+TEST(Catalog, NearestRespectsRole) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  const auto& edge = c.nearest({40.71, -74.01}, CdnRole::kEdge);
+  EXPECT_EQ(edge.role, CdnRole::kEdge);
+  const auto& ingest = c.nearest({40.71, -74.01}, CdnRole::kIngest);
+  EXPECT_EQ(ingest.role, CdnRole::kIngest);
+}
+
+TEST(Catalog, GetRejectsBadId) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  EXPECT_THROW(c.get(DatacenterId{9999}), std::out_of_range);
+  EXPECT_THROW(c.get(DatacenterId{}), std::out_of_range);
+}
+
+TEST(Catalog, DistanceSymmetricAndZeroForColocated) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  const auto ingests = c.ingest_sites();
+  const auto edges = c.edge_sites();
+  EXPECT_DOUBLE_EQ(c.distance_km(ingests[0]->id, edges[0]->id),
+                   c.distance_km(edges[0]->id, ingests[0]->id));
+  // Ashburn ingest and Ashburn edge are the same location.
+  EXPECT_NEAR(c.distance_km(ingests[0]->id, edges[0]->id), 0.0, 1e-9);
+}
+
+TEST(UserGeoSampler, ProducesValidCoordinates) {
+  UserGeoSampler s;
+  Rng rng(7);
+  int north_america = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const GeoPoint p = s.sample(rng);
+    ASSERT_GE(p.lat_deg, -85.0);
+    ASSERT_LE(p.lat_deg, 85.0);
+    ASSERT_GE(p.lon_deg, -180.0);
+    ASSERT_LE(p.lon_deg, 180.0);
+    if (p.lat_deg > 20 && p.lat_deg < 60 && p.lon_deg > -130 &&
+        p.lon_deg < -60)
+      ++north_america;
+  }
+  // The 2015 user base is US-heavy.
+  EXPECT_GT(north_america, 1500);
+  EXPECT_LT(north_america, 4000);
+}
+
+TEST(Catalog, SingleSiteForTests) {
+  const auto c = DatacenterCatalog::single_site();
+  EXPECT_EQ(c.ingest_sites().size(), 1u);
+  EXPECT_EQ(c.edge_sites().size(), 1u);
+  EXPECT_NE(c.colocated_edge(c.ingest_sites()[0]->id), nullptr);
+}
+
+}  // namespace
+}  // namespace livesim::geo

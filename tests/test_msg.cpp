@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "livesim/msg/pubsub.h"
+
+namespace livesim::msg {
+namespace {
+
+TEST(Channel, DeliversToAllSubscribers) {
+  sim::Simulator sim;
+  Channel channel(sim);
+  net::Link l1(sim, net::LastMileProfiles::wifi(), Rng(1));
+  net::Link l2(sim, net::LastMileProfiles::lte(), Rng(2));
+
+  int got1 = 0, got2 = 0;
+  TimeUs at1 = 0, at2 = 0;
+  channel.subscribe(&l1, [&](const Message&, TimeUs at) {
+    ++got1;
+    at1 = at;
+  });
+  channel.subscribe(&l2, [&](const Message&, TimeUs at) {
+    ++got2;
+    at2 = at;
+  });
+
+  Message m;
+  m.type = MessageType::kHeart;
+  m.from = UserId{7};
+  channel.publish(m);
+  sim.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+  EXPECT_GT(at1, 0);
+  EXPECT_GT(at2, at1);  // LTE link is slower than WiFi
+  EXPECT_EQ(channel.published(), 1u);
+}
+
+TEST(Channel, MessageContentPreserved) {
+  sim::Simulator sim;
+  Channel channel(sim);
+  net::Link link(sim, net::LastMileProfiles::wired(), Rng(3));
+  Message received;
+  channel.subscribe(&link, [&](const Message& m, TimeUs) { received = m; });
+  Message m;
+  m.type = MessageType::kComment;
+  m.from = UserId{42};
+  m.sent_at = 123;
+  m.reacts_to_media_ts = 456;
+  m.text = "great stream!";
+  channel.publish(m);
+  sim.run();
+  EXPECT_EQ(received.type, MessageType::kComment);
+  EXPECT_EQ(received.from, UserId{42});
+  EXPECT_EQ(received.reacts_to_media_ts, 456);
+  EXPECT_EQ(received.text, "great stream!");
+}
+
+TEST(Channel, NoSubscribersIsFine) {
+  sim::Simulator sim;
+  Channel channel(sim);
+  channel.publish(Message{});
+  sim.run();
+  EXPECT_EQ(channel.published(), 1u);
+}
+
+TEST(CommenterPolicy, CapsAtFirstN) {
+  CommenterPolicy policy(3);
+  EXPECT_TRUE(policy.admit_commenter());
+  EXPECT_TRUE(policy.admit_commenter());
+  EXPECT_TRUE(policy.admit_commenter());
+  EXPECT_FALSE(policy.admit_commenter());  // the 4th joiner cannot comment
+  EXPECT_FALSE(policy.admit_commenter());
+  EXPECT_EQ(policy.admitted(), 3u);
+}
+
+TEST(CommenterPolicy, ZeroCapMeansUncapped) {
+  CommenterPolicy policy(0);  // Meerkat: comments are tweets
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(policy.admit_commenter());
+}
+
+TEST(CommenterPolicy, PaperDefaultIs100) {
+  CommenterPolicy policy(100);
+  int admitted = 0;
+  for (int i = 0; i < 500; ++i)
+    if (policy.admit_commenter()) ++admitted;
+  EXPECT_EQ(admitted, 100);
+}
+
+}  // namespace
+}  // namespace livesim::msg

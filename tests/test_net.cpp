@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "livesim/net/link.h"
+
+namespace livesim::net {
+namespace {
+
+TEST(Link, DelayAtLeastBase) {
+  sim::Simulator sim;
+  Link::Params p;
+  p.base_delay = 10 * time::kMillisecond;
+  p.bandwidth_bps = 0;  // no serialization term
+  Link link(sim, p, Rng(1));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(link.sample_delay(100), p.base_delay);
+}
+
+TEST(Link, SerializationScalesWithBytes) {
+  sim::Simulator sim;
+  Link::Params p;
+  p.base_delay = 0;
+  p.jitter_fraction = 0.0;
+  p.bandwidth_bps = 8e6;  // 1 MB/s
+  Link link(sim, p, Rng(2));
+  EXPECT_NEAR(static_cast<double>(link.sample_delay(1000000)),
+              1.0 * time::kSecond, 1000.0);
+  EXPECT_NEAR(static_cast<double>(link.sample_delay(500000)),
+              0.5 * time::kSecond, 1000.0);
+}
+
+TEST(Link, SendDeliversAfterDelay) {
+  sim::Simulator sim;
+  Link link(sim, Link::Params{}, Rng(3));
+  TimeUs arrived = -1;
+  const DurationUs d = link.send(100, [&] { arrived = sim.now(); });
+  ASSERT_GT(d, 0);
+  sim.run();
+  EXPECT_EQ(arrived, d);
+}
+
+TEST(Link, LossDropsMessages) {
+  sim::Simulator sim;
+  Link::Params p;
+  p.loss_rate = 0.5;
+  Link link(sim, p, Rng(4));
+  int delivered = 0, lost = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (link.send(10, [&] { ++delivered; }) < 0) ++lost;
+  }
+  sim.run();
+  EXPECT_NEAR(lost, 1000, 100);
+  EXPECT_EQ(delivered + lost, 2000);
+}
+
+TEST(FifoUplink, PreservesOrder) {
+  sim::Simulator sim;
+  FifoUplink::Params p;
+  p.link = LastMileProfiles::wifi();
+  FifoUplink uplink(sim, p, Rng(5));
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(i * 1000, [&, i] {
+      uplink.send(5000, [&, i](TimeUs) { order.push_back(i); });
+    });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(FifoUplink, ArrivalTimeMatchesCallback) {
+  sim::Simulator sim;
+  FifoUplink uplink(sim, FifoUplink::Params{}, Rng(6));
+  TimeUs reported = -1, actual = -1;
+  const TimeUs predicted = uplink.send(1000, [&](TimeUs t) {
+    reported = t;
+    actual = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(reported, actual);
+  EXPECT_EQ(predicted, actual);
+}
+
+TEST(FifoUplink, OutagesDelayBursts) {
+  // With heavy outages, some messages must be queued and arrive late.
+  sim::Simulator sim;
+  FifoUplink::Params p = LastMileProfiles::bursty_uplink();
+  p.outage_rate_per_s = 0.5;
+  p.mean_outage = 2 * time::kSecond;
+  FifoUplink uplink(sim, p, Rng(7));
+
+  DurationUs max_latency = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TimeUs sent = i * 40 * time::kMillisecond;
+    sim.schedule_at(sent, [&, sent] {
+      uplink.send(2000, [&, sent](TimeUs t) {
+        max_latency = std::max(max_latency, t - sent);
+      });
+    });
+  }
+  sim.run();
+  EXPECT_GT(max_latency, time::kSecond);  // at least one multi-second stall
+}
+
+TEST(FifoUplink, NoOutagesMeansLowLatency) {
+  sim::Simulator sim;
+  FifoUplink::Params p;
+  p.link = LastMileProfiles::wired();
+  p.outage_rate_per_s = 0.0;
+  FifoUplink uplink(sim, p, Rng(8));
+  DurationUs max_latency = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TimeUs sent = i * 40 * time::kMillisecond;
+    sim.schedule_at(sent, [&, sent] {
+      uplink.send(2000, [&, sent](TimeUs t) {
+        max_latency = std::max(max_latency, t - sent);
+      });
+    });
+  }
+  sim.run();
+  EXPECT_LT(max_latency, 100 * time::kMillisecond);
+}
+
+TEST(FifoUplink, BandwidthRampSlowsEarlyTraffic) {
+  auto run = [](double initial_frac, DurationUs ramp) {
+    sim::Simulator sim;
+    FifoUplink::Params p;
+    p.link = LastMileProfiles::wifi();
+    p.link.jitter_fraction = 0.0;
+    p.initial_bw_fraction = initial_frac;
+    p.ramp_duration = ramp;
+    FifoUplink uplink(sim, p, Rng(9));
+    DurationUs total = 0;
+    int n = 0;
+    for (int i = 0; i < 100; ++i) {
+      const TimeUs sent = i * 40 * time::kMillisecond;
+      sim.schedule_at(sent, [&, sent] {
+        uplink.send(20000, [&, sent](TimeUs t) {
+          total += t - sent;
+          ++n;
+        });
+      });
+    }
+    sim.run();
+    return static_cast<double>(total) / n;
+  };
+  const double ramped = run(0.05, 20 * time::kSecond);
+  const double full = run(1.0, 0);
+  EXPECT_GT(ramped, 2.0 * full);
+}
+
+TEST(LastMileProfiles, OrderedByLatency) {
+  EXPECT_LT(LastMileProfiles::wired().base_delay,
+            LastMileProfiles::wifi().base_delay);
+  EXPECT_LT(LastMileProfiles::wifi().base_delay,
+            LastMileProfiles::lte().base_delay);
+  // Expected outage seconds per second of streaming: bursty >> stable.
+  const auto stable = LastMileProfiles::stable_uplink();
+  const auto bursty = LastMileProfiles::bursty_uplink();
+  EXPECT_GT(bursty.outage_rate_per_s * time::to_seconds(bursty.mean_outage),
+            5.0 * stable.outage_rate_per_s *
+                time::to_seconds(stable.mean_outage));
+}
+
+}  // namespace
+}  // namespace livesim::net

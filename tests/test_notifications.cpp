@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "livesim/core/notifications.h"
+#include "livesim/social/generators.h"
+
+namespace livesim::core {
+namespace {
+
+class NotificationFixture : public ::testing::Test {
+ protected:
+  NotificationFixture()
+      : catalog_(geo::DatacenterCatalog::paper_footprint()),
+        service_(sim_, catalog_, service_config()),
+        graph_(make_graph()) {
+    graph_.build_reverse();
+  }
+
+  static LivestreamService::Config service_config() {
+    LivestreamService::Config cfg;
+    cfg.rtmp_slot_cap = 100;
+    cfg.seed = 60;
+    return cfg;
+  }
+
+  static social::Graph make_graph() {
+    // Node 0 is a celebrity with 500 followers; node 1 has 3.
+    social::Graph g(600);
+    for (std::uint32_t f = 2; f < 502; ++f) g.add_edge(f, 0);
+    for (std::uint32_t f = 502; f < 505; ++f) g.add_edge(f, 1);
+    return g;
+  }
+
+  sim::Simulator sim_;
+  geo::DatacenterCatalog catalog_;
+  LivestreamService service_;
+  social::Graph graph_;
+};
+
+TEST_F(NotificationFixture, FollowersGetNotifiedAndSomeJoin) {
+  NotificationService::Params p;
+  p.join_probability = 0.2;
+  NotificationService notify(sim_, graph_, service_, p, Rng(61));
+
+  const auto id =
+      service_.start_broadcast({37.77, -122.42}, 5 * time::kMinute);
+  notify.broadcast_started(0, id);  // the celebrity goes live
+  sim_.run();
+
+  EXPECT_EQ(notify.notifications_sent(), 500u);
+  // ~100 expected joiners; accept a wide band.
+  EXPECT_GT(notify.joins_driven(), 60u);
+  EXPECT_LT(notify.joins_driven(), 140u);
+  const auto info = service_.info(id);
+  EXPECT_EQ(info->rtmp_viewers + info->hls_viewers, notify.joins_driven());
+}
+
+TEST_F(NotificationFixture, FollowerCountDrivesAudience) {
+  NotificationService::Params p;
+  p.join_probability = 0.3;
+  NotificationService notify(sim_, graph_, service_, p, Rng(62));
+
+  const auto celeb =
+      service_.start_broadcast({37.77, -122.42}, 5 * time::kMinute);
+  const auto nobody =
+      service_.start_broadcast({40.71, -74.01}, 5 * time::kMinute);
+  notify.broadcast_started(0, celeb);
+  notify.broadcast_started(1, nobody);
+  sim_.run();
+
+  const auto celeb_info = service_.info(celeb);
+  const auto nobody_info = service_.info(nobody);
+  // Figure 7's mechanism, live: more followers -> more viewers.
+  EXPECT_GT(celeb_info->rtmp_viewers + celeb_info->hls_viewers,
+            20 * (nobody_info->rtmp_viewers + nobody_info->hls_viewers + 1));
+}
+
+TEST_F(NotificationFixture, JoinsArriveAfterHumanDelays) {
+  NotificationService::Params p;
+  p.join_probability = 1.0;
+  p.mean_delivery = time::kSecond;
+  p.mean_reaction = 10 * time::kSecond;
+  NotificationService notify(sim_, graph_, service_, p, Rng(63));
+
+  const auto id =
+      service_.start_broadcast({37.77, -122.42}, 5 * time::kMinute);
+  notify.broadcast_started(1, id);  // 3 followers
+  // Immediately after the fan-out, nobody has joined yet.
+  EXPECT_EQ(service_.info(id)->rtmp_viewers, 0u);
+  sim_.run();
+  EXPECT_EQ(notify.joins_driven(), 3u);
+}
+
+TEST_F(NotificationFixture, DeadBroadcastJoinsAreDropped) {
+  NotificationService::Params p;
+  p.join_probability = 1.0;
+  p.mean_reaction = 10 * time::kMinute;  // reactions slower than the stream
+  NotificationService notify(sim_, graph_, service_, p, Rng(64));
+  const auto id =
+      service_.start_broadcast({37.77, -122.42}, 30 * time::kSecond);
+  notify.broadcast_started(1, id);
+  sim_.run();
+  // Most reactions land after the broadcast ended: joins mostly fail.
+  EXPECT_LT(notify.joins_driven(), 3u);
+}
+
+TEST(GraphReverse, FollowersOfMatchesEdges) {
+  social::Graph g(4);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.build_reverse();
+  EXPECT_EQ(g.followers_of(0), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(g.followers_of(3), (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(g.followers_of(1).empty());
+}
+
+TEST(GraphReverse, ThrowsWithoutBuild) {
+  social::Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.followers_of(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace livesim::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "livesim/client/playback.h"
+#include "livesim/util/rng.h"
+
+namespace livesim::client {
+namespace {
+
+constexpr DurationUs kFrame = 40 * time::kMillisecond;
+
+// Feeds n frames arriving with a constant delay after their media time.
+void feed_steady(PlaybackSchedule& p, int n, DurationUs delay,
+                 DurationUs unit = kFrame) {
+  for (int i = 0; i < n; ++i) {
+    const DurationUs media = static_cast<DurationUs>(i) * unit;
+    p.on_arrival(media + delay, media, unit);
+  }
+}
+
+TEST(Playback, SteadyStreamNoStalls) {
+  PlaybackSchedule p(0);
+  feed_steady(p, 100, 500 * time::kMillisecond);
+  EXPECT_EQ(p.stall_ratio(), 0.0);
+  EXPECT_EQ(p.units_played(), 100u);
+  EXPECT_EQ(p.units_discarded(), 0u);
+  // Constant-delay arrivals play immediately: no buffering wait.
+  EXPECT_NEAR(p.buffering_delay_s().mean(), 0.0, 1e-9);
+}
+
+TEST(Playback, PreBufferAddsDelay) {
+  PlaybackSchedule p(1 * time::kSecond);  // 25 frames of pre-buffer
+  feed_steady(p, 100, 500 * time::kMillisecond);
+  EXPECT_EQ(p.stall_ratio(), 0.0);
+  // Playback anchors at the arrival completing 1 s of content, so earlier
+  // frames waited up to ~1 s; the long-run average is ~the pre-buffer
+  // because the schedule runs 1 s behind a steady arrival stream.
+  EXPECT_NEAR(p.buffering_delay_s().mean(), 0.96, 0.08);
+}
+
+TEST(Playback, LateUnitDiscardedAndCountsAsStall) {
+  PlaybackSchedule p(0);
+  // Frames 0..9 arrive on time; frame 10 arrives 5 s late; 11.. on time.
+  for (int i = 0; i < 20; ++i) {
+    const DurationUs media = static_cast<DurationUs>(i) * kFrame;
+    const DurationUs delay =
+        i == 10 ? 5 * time::kSecond : 10 * time::kMillisecond;
+    p.on_arrival(media + delay, media, kFrame);
+  }
+  EXPECT_EQ(p.units_discarded(), 1u);
+  EXPECT_NEAR(p.stall_ratio(), 1.0 / 20.0, 1e-9);
+}
+
+TEST(Playback, SlackWithinSlotStillPlays) {
+  PlaybackSchedule p(0);
+  // Every other frame is late by half a frame: still inside its slot.
+  for (int i = 0; i < 50; ++i) {
+    const DurationUs media = static_cast<DurationUs>(i) * kFrame;
+    const DurationUs jitter = (i % 2) ? kFrame / 2 : 0;
+    p.on_arrival(media + jitter, media, kFrame);
+  }
+  EXPECT_EQ(p.units_discarded(), 0u);
+}
+
+TEST(Playback, PreBufferAbsorbsOutage) {
+  // A 2 s arrival gap mid-stream: P=0 discards, P=3s plays everything.
+  auto run = [](DurationUs prebuffer) {
+    PlaybackSchedule p(prebuffer);
+    for (int i = 0; i < 200; ++i) {
+      const DurationUs media = static_cast<DurationUs>(i) * kFrame;
+      DurationUs delay = 20 * time::kMillisecond;
+      // Frames 100-149 held up by an outage ending at media time of
+      // frame 150: they all arrive in a burst.
+      if (i >= 100 && i < 150)
+        delay = (150 - i) * kFrame + 20 * time::kMillisecond;
+      p.on_arrival(media + delay, media, kFrame);
+    }
+    return p;
+  };
+  const auto p0 = run(0);
+  const auto p3 = run(3 * time::kSecond);
+  EXPECT_GT(p0.stall_ratio(), 0.15);
+  EXPECT_EQ(p3.stall_ratio(), 0.0);
+  EXPECT_GT(p3.buffering_delay_s().mean(), p0.buffering_delay_s().mean());
+}
+
+TEST(Playback, NeverStartedIsFullStall) {
+  PlaybackSchedule p(10 * time::kSecond);
+  feed_steady(p, 10, 0);  // only 0.4 s of content, pre-buffer never fills
+  EXPECT_FALSE(p.started());
+  EXPECT_EQ(p.stall_ratio(), 1.0);
+}
+
+TEST(Playback, EmptyScheduleSafe) {
+  PlaybackSchedule p(time::kSecond);
+  EXPECT_EQ(p.stall_ratio(), 0.0);
+  EXPECT_EQ(p.media_offered(), 0);
+}
+
+TEST(Playback, ChunkGranularity) {
+  PlaybackSchedule p(9 * time::kSecond);  // 3 chunks of 3 s
+  const DurationUs chunk = 3 * time::kSecond;
+  // Chunks arrive every 3 s with ~4 s pipeline delay.
+  for (int i = 0; i < 20; ++i) {
+    const DurationUs media = static_cast<DurationUs>(i) * chunk;
+    p.on_arrival(media + 4 * time::kSecond, media, chunk);
+  }
+  EXPECT_EQ(p.stall_ratio(), 0.0);
+  // Anchor waits for 3 chunks -> the rest of the stream waits ~2 chunk
+  // intervals in the buffer.
+  EXPECT_NEAR(p.buffering_delay_s().mean(), 5.4, 0.8);
+}
+
+TEST(Playback, MidJoinUsesFirstSeenMediaAsAnchor) {
+  PlaybackSchedule p(0);
+  // Viewer joins at media offset 100 s.
+  const DurationUs base = 100 * time::kSecond;
+  for (int i = 0; i < 50; ++i) {
+    const DurationUs media = base + static_cast<DurationUs>(i) * kFrame;
+    p.on_arrival(media + time::kSecond, media, kFrame);
+  }
+  EXPECT_EQ(p.units_played(), 50u);
+  EXPECT_EQ(p.stall_ratio(), 0.0);
+}
+
+struct SweepCase {
+  DurationUs prebuffer;
+};
+
+class PreBufferSweep : public ::testing::TestWithParam<int> {};
+
+// The paper's §6 trade-off as a property: larger pre-buffer never
+// increases stalls and never decreases buffering delay (same trace).
+TEST_P(PreBufferSweep, MonotoneTradeoff) {
+  const int p_ms = GetParam();
+  auto run = [](DurationUs prebuffer) {
+    PlaybackSchedule p(prebuffer);
+    livesim::Rng rng(42);
+    DurationUs queue_release = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const DurationUs media = static_cast<DurationUs>(i) * kFrame;
+      DurationUs delay = static_cast<DurationUs>(
+          20000 + 10000 * std::abs(rng.normal(0.0, 1.0)));
+      if (rng.bernoulli(0.01))  // occasional 1 s outage
+        queue_release = media + time::kSecond;
+      if (media < queue_release) delay += queue_release - media;
+      p.on_arrival(media + delay, media, kFrame);
+    }
+    return std::pair{p.stall_ratio(), p.buffering_delay_s().mean()};
+  };
+  const auto [stall_small, delay_small] = run(p_ms * time::kMillisecond);
+  const auto [stall_big, delay_big] = run((p_ms + 500) * time::kMillisecond);
+  EXPECT_LE(stall_big, stall_small + 1e-9);
+  EXPECT_GE(delay_big, delay_small - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PreBufferSweep,
+                         ::testing::Values(0, 250, 500, 1000, 3000, 6000));
+
+}  // namespace
+}  // namespace livesim::client

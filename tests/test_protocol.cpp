@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "livesim/protocol/hls.h"
+#include "livesim/protocol/rtmp.h"
+#include "livesim/protocol/wire.h"
+
+namespace livesim::protocol {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, BytesAndStringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.bytes(std::vector<std::uint8_t>{1, 2, 3});
+  w.str("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_EQ(r.bytes().value(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, TruncationReturnsNullopt) {
+  ByteWriter w;
+  w.u32(5);  // claims 5 bytes follow
+  w.u8('x');
+  ByteReader r(w.data());
+  EXPECT_FALSE(r.bytes().has_value());
+  ByteReader r2(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(r2.u8().has_value());
+  EXPECT_FALSE(r2.u64().has_value());
+}
+
+TEST(Wire, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(Rtmp, ConnectRoundTripAndPlaintextToken) {
+  RtmpConnect c{"secret-token-123", "stream-key"};
+  const auto body = encode_connect(c);
+  const auto back = decode_connect(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->broadcast_token, "secret-token-123");
+  EXPECT_EQ(back->stream_key, "stream-key");
+  // The vulnerability: the token is readable in the raw bytes.
+  const std::string raw(body.begin(), body.end());
+  EXPECT_NE(raw.find("secret-token-123"), std::string::npos);
+}
+
+TEST(Rtmp, VideoFrameRoundTrip) {
+  RtmpVideoFrame f;
+  f.frame_seq = 77;
+  f.capture_ts_us = 123456789;
+  f.flags = 1;
+  f.payload = {9, 8, 7, 6};
+  f.signature = {1, 2};
+  const auto body = encode_video(f);
+  const auto back = decode_video(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->frame_seq, 77u);
+  EXPECT_EQ(back->capture_ts_us, 123456789);
+  EXPECT_TRUE(back->keyframe());
+  EXPECT_EQ(back->payload, f.payload);
+  EXPECT_EQ(back->signature, f.signature);
+}
+
+TEST(Rtmp, MessageFramingRoundTrip) {
+  RtmpMessage msg{RtmpMessageType::kVideoFrame, {1, 2, 3}};
+  const auto wire = encode_message(msg);
+  const auto back = decode_message(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, RtmpMessageType::kVideoFrame);
+  EXPECT_EQ(back->body, msg.body);
+}
+
+TEST(Rtmp, DecodeGarbageFails) {
+  const std::vector<std::uint8_t> garbage{0xFF, 0x00};
+  EXPECT_FALSE(decode_message(garbage).has_value());
+  EXPECT_FALSE(decode_video(garbage).has_value());
+  EXPECT_FALSE(decode_connect(garbage).has_value());
+}
+
+TEST(Rtmp, MediaFrameToWireRoundTrip) {
+  media::VideoFrame f;
+  f.seq = 5;
+  f.capture_ts = 200000;
+  f.keyframe = true;
+  f.payload = {10, 20, 30};
+  f.size_bytes = 3;
+  const auto wire = frame_to_wire(f);
+  const auto back = wire_to_frame(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 5u);
+  EXPECT_EQ(back->capture_ts, 200000);
+  EXPECT_TRUE(back->keyframe);
+  EXPECT_EQ(back->payload, f.payload);
+  EXPECT_EQ(back->size_bytes, 3u);
+}
+
+media::ChunkList sample_list() {
+  media::ChunkList list;
+  list.version = 42;
+  list.target_duration = 3 * time::kSecond;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    media::Chunk c;
+    c.seq = 10 + i;
+    c.first_capture_ts = static_cast<TimeUs>(i) * 3 * time::kSecond;
+    c.completed_ts = c.first_capture_ts + 3 * time::kSecond;
+    c.duration = 3 * time::kSecond;
+    c.first_frame_seq = i * 75;
+    c.frame_count = 75;
+    c.size_bytes = 150000 + i;
+    list.chunks.push_back(c);
+  }
+  return list;
+}
+
+TEST(Hls, PlaylistRoundTrip) {
+  const auto list = sample_list();
+  const std::string text = render_playlist(list, "chunk_");
+  const auto back = parse_playlist(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, 42u);
+  EXPECT_EQ(back->target_duration, 3 * time::kSecond);
+  ASSERT_EQ(back->chunks.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back->chunks[i].seq, list.chunks[i].seq);
+    EXPECT_EQ(back->chunks[i].first_capture_ts, list.chunks[i].first_capture_ts);
+    EXPECT_EQ(back->chunks[i].completed_ts, list.chunks[i].completed_ts);
+    EXPECT_EQ(back->chunks[i].frame_count, list.chunks[i].frame_count);
+    EXPECT_EQ(back->chunks[i].size_bytes, list.chunks[i].size_bytes);
+    EXPECT_EQ(back->chunks[i].duration, list.chunks[i].duration);
+  }
+  EXPECT_EQ(back->latest_seq(), 12);
+}
+
+TEST(Hls, PlaylistLooksLikeM3u8) {
+  const std::string text = render_playlist(sample_list(), "c_");
+  EXPECT_EQ(text.rfind("#EXTM3U", 0), 0u);
+  EXPECT_NE(text.find("#EXT-X-TARGETDURATION:3"), std::string::npos);
+  EXPECT_NE(text.find("#EXT-X-MEDIA-SEQUENCE:10"), std::string::npos);
+  EXPECT_NE(text.find("#EXTINF:3.000,"), std::string::npos);
+  EXPECT_NE(text.find("c_10.ts"), std::string::npos);
+}
+
+TEST(Hls, EmptyPlaylistRoundTrip) {
+  media::ChunkList list;
+  list.target_duration = 3 * time::kSecond;
+  const auto back = parse_playlist(render_playlist(list, "c_"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->chunks.empty());
+  EXPECT_EQ(back->latest_seq(), -1);
+}
+
+TEST(Hls, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_playlist("").has_value());
+  EXPECT_FALSE(parse_playlist("not a playlist").has_value());
+  EXPECT_FALSE(parse_playlist("#EXTM3U\nchunk.ts\n").has_value());
+}
+
+}  // namespace
+}  // namespace livesim::protocol

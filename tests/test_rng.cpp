@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "livesim/util/rng.h"
+
+namespace livesim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    saw_lo |= v == 2;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(11);
+  std::map<std::int64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 5)];
+  for (const auto& [v, c] : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 6.0, 0.01) << "value " << v;
+}
+
+TEST(Rng, NormalMeanAndStddev) {
+  Rng rng(12);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(14);
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = rng.lognormal(std::log(50.0), 1.0);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 50.0, 3.0);
+}
+
+TEST(Rng, ParetoLowerBoundAndTail) {
+  Rng rng(15);
+  double max = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.pareto(2.0, 1.2);
+    ASSERT_GE(x, 2.0);
+    max = std::max(max, x);
+  }
+  EXPECT_GT(max, 100.0);  // heavy tail reaches far
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng(16);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.2));
+  EXPECT_NEAR(sum / n, 4.2, 0.1);
+}
+
+TEST(Rng, PoissonMeanLarge) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(250.0));
+  EXPECT_NEAR(sum / n, 250.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(18);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(20);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The fork and the parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1);
+}
+
+struct ZipfCase {
+  std::int64_t n;
+  double s;
+};
+
+class ZipfProperty : public ::testing::TestWithParam<ZipfCase> {};
+
+TEST_P(ZipfProperty, InRangeAndRankOrdered) {
+  const auto [n, s] = GetParam();
+  ZipfSampler z(n, s);
+  Rng rng(23);
+  std::map<std::int64_t, int> counts;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const auto r = z.sample(rng);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, n);
+    ++counts[r];
+  }
+  // Rank 1 must be the most frequent outcome.
+  int max_count = 0;
+  for (const auto& [r, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts[1], max_count);
+  // Frequency of rank 1 vs rank 2 should be ~2^s.
+  if (counts[2] > 500) {
+    const double ratio =
+        static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+    EXPECT_NEAR(ratio, std::pow(2.0, s), 0.35 * std::pow(2.0, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfProperty,
+    ::testing::Values(ZipfCase{10, 0.8}, ZipfCase{10, 1.0}, ZipfCase{100, 1.2},
+                      ZipfCase{1000, 0.9}, ZipfCase{100000, 1.05},
+                      ZipfCase{1000000, 1.2}, ZipfCase{50, 2.0}));
+
+}  // namespace
+}  // namespace livesim

@@ -1,0 +1,31 @@
+// The shipped sample dataset (data/sample_traces.txt) must stay loadable
+// and usable by every trace-driven experiment.
+#include <gtest/gtest.h>
+
+#include "livesim/analysis/trace_io.h"
+
+namespace livesim::analysis {
+namespace {
+
+TEST(SampleData, ShippedTracesLoadAndDrive) {
+  // ctest runs from build/tests; direct runs from the repo root.
+  auto traces = load_traces(std::string("data/sample_traces.txt"));
+  if (!traces)
+    traces = load_traces(std::string("../../data/sample_traces.txt"));
+  if (!traces) GTEST_SKIP() << "sample data not found";
+  ASSERT_EQ(traces->size(), 12u);
+  for (const auto& t : *traces) {
+    EXPECT_EQ(t.frame_arrivals.size(), 1500u);
+    EXPECT_GE(t.chunks.size(), 15u);
+  }
+  const auto polling = polling_experiment(*traces, 2 * time::kSecond,
+                                          300 * time::kMillisecond, 1);
+  EXPECT_NEAR(polling.per_broadcast_mean_s.mean(), 1.0, 0.4);
+  const auto buffering =
+      hls_buffering_experiment(*traces, 6 * time::kSecond,
+                               time::from_seconds(2.8), 1);
+  EXPECT_EQ(buffering.stall_ratio.size(), 12u);
+}
+
+}  // namespace
+}  // namespace livesim::analysis

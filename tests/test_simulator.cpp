@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "livesim/sim/simulator.h"
+
+namespace livesim::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(50, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimeUs seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  TimeUs seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(-5, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterRunFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{9999}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<TimeUs> fired;
+  for (TimeUs t : {10, 20, 30, 40})
+    sim.schedule_at(t, [&, t] { fired.push_back(t); });
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimeUs>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(25, [&] { ran = true; });
+  sim.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, StepRunsBoundedEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.step(10), 3u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.step(), 0u);
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, EventCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_in(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(PeriodicProcess, TicksAtInterval) {
+  Simulator sim;
+  std::vector<TimeUs> ticks;
+  PeriodicProcess proc(sim, 100, 50, [&](PeriodicProcess& p) {
+    ticks.push_back(sim.now());
+    if (p.ticks() == 4) p.stop();
+  });
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<TimeUs>{100, 150, 200, 250}));
+  EXPECT_FALSE(proc.running());
+}
+
+TEST(PeriodicProcess, StopFromOutside) {
+  Simulator sim;
+  int count = 0;
+  PeriodicProcess proc(sim, 0, 10, [&](PeriodicProcess&) { ++count; });
+  sim.schedule_at(35, [&] { proc.stop(); });
+  sim.run();
+  EXPECT_EQ(count, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(PeriodicProcess, SetIntervalTakesEffect) {
+  Simulator sim;
+  std::vector<TimeUs> ticks;
+  PeriodicProcess proc(sim, 0, 10, [&](PeriodicProcess& p) {
+    ticks.push_back(sim.now());
+    if (p.ticks() == 2) p.set_interval(30);
+    if (p.ticks() == 4) p.stop();
+  });
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<TimeUs>{0, 10, 40, 70}));
+}
+
+TEST(PeriodicProcess, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicProcess proc(sim, 0, 10, [&](PeriodicProcess&) { ++count; });
+    sim.run_until(25);
+  }
+  sim.run();  // must not fire after destruction
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace livesim::sim

@@ -1,0 +1,77 @@
+// Long-horizon soak tests: the simulator, CDN state machines, and playback
+// accounting must stay consistent over many minutes of simulated time and
+// sizable audiences (not just the short windows the unit tests use).
+#include <gtest/gtest.h>
+
+#include "livesim/core/service.h"
+
+namespace livesim {
+namespace {
+
+TEST(Soak, TenMinuteBroadcastWithAudience) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 10 * time::kMinute;
+  cfg.rtmp_viewers = 20;
+  cfg.hls_viewers = 40;
+  cfg.crawler_pollers = true;
+  cfg.seed = 404;
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  // 15000 frames ingested, every viewer played nearly everything.
+  EXPECT_EQ(session.ingest().frames_ingested(), 15000u);
+  std::uint64_t total_played = 0;
+  for (const auto& v : session.viewer_results()) {
+    EXPECT_LT(v.stall_ratio, 0.2);
+    total_played += v.units_played;
+  }
+  EXPECT_GT(total_played, 20u * 14000u);  // RTMP cohort alone
+
+  // Delay accounting stayed sane over the whole horizon.
+  EXPECT_NEAR(session.hls_breakdown().chunking_s.mean(), 3.0, 0.5);
+  EXPECT_LT(session.rtmp_breakdown().total_s(), 4.0);
+  EXPECT_GT(sim.events_processed(), 100000u);
+  EXPECT_EQ(sim.pending(), 0u);  // everything drained, nothing leaked
+}
+
+TEST(Soak, ServiceSurvivesManyOverlappingBroadcasts) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::LivestreamService::Config cfg;
+  cfg.seed = 405;
+  core::LivestreamService service(sim, catalog, cfg);
+
+  Rng rng(406);
+  geo::UserGeoSampler geo_sampler;
+  std::vector<core::LivestreamService::ViewerHandle> handles;
+  for (int b = 0; b < 25; ++b) {
+    sim.schedule_at(static_cast<TimeUs>(b) * 20 * time::kSecond, [&] {
+      const auto id = service.start_broadcast(
+          geo_sampler.sample(rng),
+          time::from_seconds(60.0 + rng.uniform() * 240.0));
+      for (int v = 0; v < 8; ++v) {
+        if (auto h = service.join(id, geo_sampler.sample(rng)))
+          handles.push_back(*h);
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(handles.size(), 25u * 8u);
+  EXPECT_EQ(service.global_list().active_count(), 0u);  // all ended
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Every broadcast is queryable and consistent.
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const auto info = service.info(BroadcastId{i});
+    ASSERT_TRUE(info.has_value());
+    EXPECT_FALSE(info->live);
+    EXPECT_EQ(info->rtmp_viewers + info->hls_viewers, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace livesim

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "livesim/social/generators.h"
+#include "livesim/social/graph.h"
+
+namespace livesim::social {
+namespace {
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate
+  EXPECT_FALSE(g.add_edge(2, 2));  // self-loop
+  EXPECT_FALSE(g.add_edge(0, 9));  // out of range
+  EXPECT_TRUE(g.add_edge(1, 0));   // reverse is a distinct edge
+  EXPECT_EQ(g.edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.mean_out_degree(), 0.5);
+}
+
+TEST(Metrics, TriangleGraph) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  Rng rng(1);
+  const auto m = measure(g, rng, 500, 3);
+  EXPECT_EQ(m.nodes, 3u);
+  EXPECT_EQ(m.edges, 3u);
+  EXPECT_NEAR(m.clustering, 1.0, 1e-9);   // every projection node closed
+  EXPECT_NEAR(m.mean_path, 1.0, 1e-9);    // all pairs adjacent undirected
+  EXPECT_EQ(m.assortativity, 0.0);        // all degrees equal -> degenerate
+}
+
+TEST(Metrics, StarGraphHasZeroClusteringAndNegativeAssortativity) {
+  // Bidirectional star: every edge joins a degree-2 leaf to the hub.
+  Graph g(10);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    g.add_edge(i, 0);
+    g.add_edge(0, i);
+  }
+  Rng rng(2);
+  const auto m = measure(g, rng, 1000, 5);
+  EXPECT_EQ(m.clustering, 0.0);
+  // Leaves all attach to the hub: maximally disassortative (r = -1).
+  EXPECT_NEAR(m.assortativity, -1.0, 1e-9);
+  // Undirected star: hub at distance 1, leaf-to-leaf at 2.
+  EXPECT_GT(m.mean_path, 1.0);
+  EXPECT_LT(m.mean_path, 2.0);
+}
+
+TEST(Metrics, EmptyGraphSafe) {
+  Graph g(0);
+  Rng rng(3);
+  const auto m = measure(g, rng);
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_EQ(m.mean_degree, 0.0);
+}
+
+TEST(Generate, DeterministicForSeed) {
+  auto p = GraphGenParams::periscope_like(3000);
+  const Graph a = generate(p);
+  const Graph b = generate(p);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.out(42), b.out(42));
+}
+
+TEST(Generate, EdgeCountTracksMeanOutDegree) {
+  GraphGenParams p;
+  p.nodes = 20000;
+  p.mean_out_degree = 10.0;
+  p.reciprocity = 0.0;
+  p.triadic_closure = 0.0;
+  p.communities = 0;
+  const Graph g = generate(p);
+  EXPECT_NEAR(g.mean_out_degree(), 10.0, 1.5);
+}
+
+TEST(Generate, ReciprocityCreatesBackEdges) {
+  GraphGenParams p;
+  p.nodes = 5000;
+  p.mean_out_degree = 8.0;
+  p.reciprocity = 1.0;
+  p.triadic_closure = 0.0;
+  p.communities = 0;
+  const Graph g = generate(p);
+  // Count reciprocated edges on a sample.
+  std::uint64_t mutual = 0, total = 0;
+  for (std::uint32_t u = 0; u < 500; ++u) {
+    for (std::uint32_t v : g.out(u)) {
+      ++total;
+      for (std::uint32_t w : g.out(v))
+        if (w == u) {
+          ++mutual;
+          break;
+        }
+    }
+  }
+  EXPECT_GT(static_cast<double>(mutual) / static_cast<double>(total), 0.9);
+}
+
+// Table 2's qualitative structure as a regression test.
+class Table2Structure : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kNodes = 30000;
+  static GraphMetrics measure_preset(const GraphGenParams& p) {
+    const Graph g = generate(p);
+    Rng rng(9);
+    return measure(g, rng, 1500, 12);
+  }
+};
+
+TEST_F(Table2Structure, DegreeOrdering) {
+  const auto peri = measure_preset(GraphGenParams::periscope_like(kNodes));
+  const auto tw = measure_preset(GraphGenParams::twitter_like(kNodes));
+  const auto fb = measure_preset(GraphGenParams::facebook_like(kNodes));
+  // Facebook >> Periscope > Twitter in edges per node (Table 2).
+  EXPECT_GT(fb.mean_degree, 2.0 * peri.mean_degree);
+  EXPECT_GT(peri.mean_degree, 2.0 * tw.mean_degree);
+}
+
+TEST_F(Table2Structure, ClusteringOrdering) {
+  const auto peri = measure_preset(GraphGenParams::periscope_like(kNodes));
+  const auto tw = measure_preset(GraphGenParams::twitter_like(kNodes));
+  const auto fb = measure_preset(GraphGenParams::facebook_like(kNodes));
+  EXPECT_GT(fb.clustering, peri.clustering);
+  EXPECT_GT(peri.clustering, tw.clustering);
+}
+
+TEST_F(Table2Structure, AssortativitySigns) {
+  const auto peri = measure_preset(GraphGenParams::periscope_like(kNodes));
+  const auto tw = measure_preset(GraphGenParams::twitter_like(kNodes));
+  const auto fb = measure_preset(GraphGenParams::facebook_like(kNodes));
+  // Facebook positive (bidirectional friendships), Periscope and Twitter
+  // negative (asymmetric one-to-many follows) -- the paper's comparison.
+  EXPECT_GT(fb.assortativity, 0.05);
+  EXPECT_LT(peri.assortativity, 0.0);
+  EXPECT_LT(tw.assortativity, 0.0);
+}
+
+TEST_F(Table2Structure, HeavyTailedInDegree) {
+  const Graph g = generate(GraphGenParams::periscope_like(kNodes));
+  std::uint32_t max_in = 0;
+  for (std::uint32_t u = 0; u < g.nodes(); ++u)
+    max_in = std::max(max_in, g.in_degree(u));
+  // Celebrities: the largest account dwarfs the mean (power-law tail).
+  EXPECT_GT(max_in, 50.0 * g.mean_out_degree());
+}
+
+}  // namespace
+}  // namespace livesim::social

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "livesim/stats/accumulator.h"
+#include "livesim/stats/histogram.h"
+#include "livesim/stats/report.h"
+#include "livesim/stats/sampler.h"
+#include "livesim/stats/timeseries.h"
+
+namespace livesim::stats {
+namespace {
+
+TEST(Accumulator, EmptyIsSafe) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSinglePass) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::sin(i * 0.1) * 10 + i * 0.01;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  Correlation c;
+  for (int i = 0; i < 100; ++i) c.add(i, 2.0 * i + 5.0);
+  EXPECT_NEAR(c.pearson(), 1.0, 1e-9);
+}
+
+TEST(Correlation, PerfectNegative) {
+  Correlation c;
+  for (int i = 0; i < 100; ++i) c.add(i, -3.0 * i);
+  EXPECT_NEAR(c.pearson(), -1.0, 1e-9);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Correlation c;
+  // Deterministic decorrelated pattern.
+  for (int i = 0; i < 1000; ++i)
+    c.add(std::sin(i * 1.7), std::cos(i * 2.3));
+  EXPECT_NEAR(c.pearson(), 0.0, 0.1);
+}
+
+TEST(Correlation, DegenerateCases) {
+  Correlation c;
+  EXPECT_EQ(c.pearson(), 0.0);
+  c.add(1.0, 1.0);
+  EXPECT_EQ(c.pearson(), 0.0);  // single point
+  Correlation flat;
+  flat.add(1.0, 5.0);
+  flat.add(2.0, 5.0);
+  EXPECT_EQ(flat.pearson(), 0.0);  // zero y-variance
+}
+
+TEST(Sampler, QuantilesOfKnownData) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(Sampler, QuantileOfEmptyThrows) {
+  Sampler s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+}
+
+TEST(Sampler, CdfMonotoneAndBounded) {
+  Sampler s;
+  for (double x : {5.0, 1.0, 3.0, 3.0, 9.0}) s.add(x);
+  double prev = -1;
+  for (double x = 0.0; x <= 10.0; x += 0.5) {
+    const double f = s.cdf_at(x);
+    ASSERT_GE(f, prev);
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(9.0), 1.0);   // <= semantics
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 0.6);   // 1,3,3 of 5
+}
+
+TEST(Sampler, FractionGeq) {
+  Sampler s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.fraction_geq(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_geq(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_geq(5.0), 0.0);
+}
+
+TEST(Sampler, SummaryTracksAccumulator) {
+  Sampler s;
+  s.add(2.0);
+  s.add(6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Sampler, AddAfterSortInvalidatesCache) {
+  Sampler s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 5, 5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+}
+
+TEST(DailySeries, AccumulatesByDay) {
+  DailySeries s(5);
+  s.add(0);
+  s.add(time::kDay + 5);
+  s.add(time::kDay * 2 - 1);
+  s.add_day(4, 10);
+  s.add(time::kDay * 99);  // out of range, ignored
+  EXPECT_EQ(s.at(0), 1u);
+  EXPECT_EQ(s.at(1), 2u);
+  EXPECT_EQ(s.at(4), 10u);
+  EXPECT_EQ(s.total(), 13u);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::integer(1234567), "1,234,567");
+  EXPECT_EQ(Table::integer(-42), "-42");
+  EXPECT_EQ(Table::integer(0), "0");
+  EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Points, LogPointsSpanRange) {
+  const auto pts = log_points(1.0, 1000.0, 4);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_NEAR(pts[0], 1.0, 1e-9);
+  EXPECT_NEAR(pts[1], 10.0, 1e-6);
+  EXPECT_NEAR(pts[3], 1000.0, 1e-6);
+  EXPECT_THROW(log_points(0.0, 10.0, 4), std::invalid_argument);
+}
+
+TEST(Points, LinearPointsSpanRange) {
+  const auto pts = linear_points(0.0, 9.0, 10);
+  ASSERT_EQ(pts.size(), 10u);
+  EXPECT_DOUBLE_EQ(pts[0], 0.0);
+  EXPECT_DOUBLE_EQ(pts[9], 9.0);
+  EXPECT_DOUBLE_EQ(pts[5], 5.0);
+}
+
+}  // namespace
+}  // namespace livesim::stats

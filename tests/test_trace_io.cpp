@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "livesim/analysis/trace_io.h"
+
+namespace livesim::analysis {
+namespace {
+
+std::vector<BroadcastTrace> small_set() {
+  TraceSetConfig cfg;
+  cfg.broadcasts = 20;
+  cfg.broadcast_len = 30 * time::kSecond;
+  cfg.seed = 9;
+  return generate_traces(cfg);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto original = small_set();
+  std::stringstream buffer;
+  save_traces(original, buffer);
+  const auto loaded = load_traces(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original[i];
+    const auto& b = (*loaded)[i];
+    EXPECT_EQ(a.frame_interval, b.frame_interval);
+    EXPECT_EQ(a.bursty, b.bursty);
+    ASSERT_EQ(a.frame_arrivals, b.frame_arrivals);
+    ASSERT_EQ(a.chunks.size(), b.chunks.size());
+    for (std::size_t c = 0; c < a.chunks.size(); ++c) {
+      EXPECT_EQ(a.chunks[c].completed_at_ingest,
+                b.chunks[c].completed_at_ingest);
+      EXPECT_EQ(a.chunks[c].media_start, b.chunks[c].media_start);
+      EXPECT_EQ(a.chunks[c].duration, b.chunks[c].duration);
+      EXPECT_EQ(a.chunks[c].bytes, b.chunks[c].bytes);
+    }
+  }
+}
+
+TEST(TraceIo, ExperimentsAgreeOnSavedAndLiveTraces) {
+  const auto original = small_set();
+  std::stringstream buffer;
+  save_traces(original, buffer);
+  const auto loaded = load_traces(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  const auto live = polling_experiment(original, 2 * time::kSecond,
+                                       300 * time::kMillisecond, 4);
+  const auto replay = polling_experiment(*loaded, 2 * time::kSecond,
+                                         300 * time::kMillisecond, 4);
+  EXPECT_DOUBLE_EQ(live.per_broadcast_mean_s.mean(),
+                   replay.per_broadcast_mean_s.mean());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = small_set();
+  const std::string path = "/tmp/livesim_traces_test.txt";
+  save_traces(original, path);
+  const auto loaded = load_traces(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), original.size());
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_traces(std::string("/nonexistent/nope.txt")).has_value());
+}
+
+TEST(TraceIo, RejectsStructuralErrors) {
+  {
+    std::stringstream bad("X 1 2 3\n");
+    EXPECT_FALSE(load_traces(bad).has_value());
+  }
+  {
+    std::stringstream bad("F 100 200\n");  // frames before any broadcast
+    EXPECT_FALSE(load_traces(bad).has_value());
+  }
+  {
+    // Declared 3 frames, provided 2.
+    std::stringstream bad("B 40000 0 3 0\nF 1 2\n");
+    EXPECT_FALSE(load_traces(bad).has_value());
+  }
+  {
+    // Chunk overflow vs declaration.
+    std::stringstream bad("B 40000 0 0 0\nC 1 2 3 4\n");
+    EXPECT_FALSE(load_traces(bad).has_value());
+  }
+  {
+    std::stringstream empty("# only a comment\n");
+    const auto r = load_traces(empty);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->empty());
+  }
+}
+
+}  // namespace
+}  // namespace livesim::analysis

@@ -1,0 +1,24 @@
+// The umbrella header must compile standalone and expose the full API.
+#include "livesim/livesim.h"
+
+#include <gtest/gtest.h>
+
+namespace livesim {
+namespace {
+
+TEST(Umbrella, EverythingIsReachable) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 5 * time::kSecond;
+  cfg.rtmp_viewers = 1;
+  cfg.hls_viewers = 1;
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+  EXPECT_GT(session.ingest().frames_ingested(), 0u);
+}
+
+}  // namespace
+}  // namespace livesim

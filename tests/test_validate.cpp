@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "livesim/stats/validate.h"
+#include "livesim/util/rng.h"
+
+namespace livesim::stats {
+namespace {
+
+TEST(KsDistance, UniformSamplesMatchUniformCdf) {
+  Rng rng(1);
+  Sampler s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform(2.0, 5.0));
+  const double d =
+      ks_distance(s, [](double x) { return uniform_cdf(x, 2.0, 5.0); });
+  // KS critical value at alpha=0.001 ~ 1.95/sqrt(n) ~ 0.014.
+  EXPECT_LT(d, 0.014);
+}
+
+TEST(KsDistance, DetectsWrongDistribution) {
+  Rng rng(2);
+  Sampler s;
+  for (int i = 0; i < 5000; ++i) s.add(rng.exponential(1.0));
+  const double d =
+      ks_distance(s, [](double x) { return uniform_cdf(x, 0.0, 5.0); });
+  EXPECT_GT(d, 0.2);
+}
+
+TEST(KsDistance, ExponentialSamplesMatchExponentialCdf) {
+  Rng rng(3);
+  Sampler s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(3.0));
+  const double d =
+      ks_distance(s, [](double x) { return exponential_cdf(x, 3.0); });
+  EXPECT_LT(d, 0.014);
+}
+
+TEST(KsDistance, NormalSamplesMatchNormalCdf) {
+  Rng rng(4);
+  Sampler s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(10.0, 2.0));
+  const double d = ks_distance(s, [](double x) {
+    return 0.5 * std::erfc(-(x - 10.0) / (2.0 * std::sqrt(2.0)));
+  });
+  EXPECT_LT(d, 0.014);
+}
+
+TEST(KsDistance, EmptySampleThrows) {
+  Sampler s;
+  EXPECT_THROW(ks_distance(s, [](double) { return 0.5; }), std::logic_error);
+}
+
+TEST(ChiSquare, UniformIntIsUniform) {
+  Rng rng(5);
+  std::vector<std::uint64_t> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  const std::vector<double> expected(10, 0.1);
+  // df = 9; critical value at alpha = 0.001 is 27.9.
+  EXPECT_LT(chi_square(counts, expected), 27.9);
+}
+
+TEST(ChiSquare, ZipfMatchesAnalyticPmf) {
+  const std::int64_t n = 20;
+  const double s = 1.2;
+  ZipfSampler zipf(n, s);
+  Rng rng(6);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < 200000; ++i)
+    ++counts[static_cast<std::size_t>(zipf.sample(rng) - 1)];
+  double norm = 0.0;
+  std::vector<double> expected(static_cast<std::size_t>(n));
+  for (std::int64_t r = 1; r <= n; ++r)
+    norm += std::pow(static_cast<double>(r), -s);
+  for (std::int64_t r = 1; r <= n; ++r)
+    expected[static_cast<std::size_t>(r - 1)] =
+        std::pow(static_cast<double>(r), -s) / norm;
+  // df = 19; critical value at alpha = 0.001 is 43.8.
+  EXPECT_LT(chi_square(counts, expected), 43.8);
+}
+
+TEST(ChiSquare, DetectsBias) {
+  std::vector<std::uint64_t> counts = {900, 100};
+  std::vector<double> expected = {0.5, 0.5};
+  EXPECT_GT(chi_square(counts, expected), 100.0);
+}
+
+TEST(ChiSquare, RejectsBadInput) {
+  EXPECT_THROW(chi_square({}, {}), std::invalid_argument);
+  EXPECT_THROW(chi_square({1, 2}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(chi_square({1, 2}, {1.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace livesim::stats

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "livesim/stats/sampler.h"
+#include "livesim/stats/timeseries.h"
+#include "livesim/workload/generator.h"
+
+namespace livesim::workload {
+namespace {
+
+Dataset small_periscope(double scale = 0.001, std::uint64_t seed = 11) {
+  Generator gen(AppProfile::periscope(), scale, seed);
+  return gen.generate();
+}
+
+Dataset small_meerkat(double scale = 0.05, std::uint64_t seed = 12) {
+  Generator gen(AppProfile::meerkat(), scale, seed);
+  return gen.generate();
+}
+
+TEST(Profile, PeriscopeGrowthTriples) {
+  const auto p = AppProfile::periscope();
+  // Compare week-averaged volumes to smooth the weekly pattern.
+  double first = 0, last = 0;
+  for (std::uint32_t d = 0; d < 7; ++d) {
+    first += p.daily_volume(d);
+    last += p.daily_volume(p.days - 7 + d);
+  }
+  EXPECT_GT(last / first, 3.0);
+  EXPECT_LT(last / first, 6.0);
+}
+
+TEST(Profile, AndroidLaunchStep) {
+  const auto p = AppProfile::periscope();
+  const double before = p.daily_volume(10);
+  const double after = p.daily_volume(11);
+  EXPECT_GT(after / before, 1.25);  // visible jump on May 26
+}
+
+TEST(Profile, WeeklyPatternPeriodic) {
+  const auto p = AppProfile::periscope();
+  // Divide out the exponential growth; the residual must swing weekly and
+  // repeat with period 7.
+  auto detrended = [&](std::uint32_t d) {
+    const double frac = static_cast<double>(d) / (p.days - 1);
+    return p.daily_volume(d) / std::pow(p.growth_total, frac);
+  };
+  double lo = 1e18, hi = 0;
+  for (std::uint32_t d = 30; d < 37; ++d) {
+    lo = std::min(lo, detrended(d));
+    hi = std::max(hi, detrended(d));
+  }
+  EXPECT_GT(hi / lo, 1.15);  // visible weekend peak vs weekday trough
+  for (std::uint32_t d = 30; d < 37; ++d)
+    EXPECT_NEAR(detrended(d) / detrended(d + 7), 1.0, 1e-9);
+}
+
+TEST(Profile, MeerkatDeclines) {
+  const auto p = AppProfile::meerkat();
+  EXPECT_LT(p.daily_volume(p.days - 1), 0.6 * p.daily_volume(0));
+}
+
+TEST(Profile, OutageWindowCapturesLess) {
+  const auto p = AppProfile::periscope();
+  EXPECT_EQ(p.capture_fraction(50), 1.0);
+  EXPECT_LT(p.capture_fraction(85), 1.0);
+  EXPECT_EQ(p.capture_fraction(88), 1.0);
+}
+
+TEST(Generator, PeriscopeScaleMatchesPaperTotals) {
+  const auto ds = small_periscope(0.002, 3);
+  const double inv = 1.0 / ds.scale;
+  // ~19.6M broadcasts at paper scale (within 25%).
+  EXPECT_NEAR(static_cast<double>(ds.captured_broadcasts()) * inv, 19.6e6,
+              19.6e6 * 0.25);
+  // ~705M total views (within 40% at this small scale).
+  EXPECT_NEAR(static_cast<double>(ds.total_views()) * inv, 705e6, 705e6 * 0.4);
+  // broadcasts : broadcasters ~ 10.6 : 1.
+  const double per_creator =
+      static_cast<double>(ds.captured_broadcasts()) /
+      static_cast<double>(ds.unique_broadcasters());
+  EXPECT_GT(per_creator, 5.0);
+  EXPECT_LT(per_creator, 20.0);
+}
+
+TEST(Generator, DurationsMatchFigure3) {
+  const auto ds = small_periscope();
+  stats::Sampler dur;
+  for (const auto& b : ds.broadcasts) dur.add(time::to_seconds(b.length));
+  // 85% of broadcasts are under 10 minutes.
+  EXPECT_NEAR(dur.fraction_leq(600.0), 0.85, 0.05);
+  EXPECT_GE(dur.min(), 10.0);
+  EXPECT_LE(dur.max(), 24.0 * 3600.0);
+}
+
+TEST(Generator, MeerkatMostBroadcastsHaveNoViewers) {
+  const auto ds = small_meerkat();
+  std::uint64_t zero = 0;
+  for (const auto& b : ds.broadcasts)
+    if (b.total_viewers() == 0) ++zero;
+  EXPECT_NEAR(static_cast<double>(zero) /
+                  static_cast<double>(ds.broadcasts.size()),
+              0.60, 0.06);  // Figure 4: "60% have no viewers at all"
+}
+
+TEST(Generator, PeriscopeNearlyAllBroadcastsViewed) {
+  const auto ds = small_periscope();
+  std::uint64_t zero = 0;
+  for (const auto& b : ds.broadcasts)
+    if (b.total_viewers() == 0) ++zero;
+  EXPECT_LT(static_cast<double>(zero) /
+                static_cast<double>(ds.broadcasts.size()),
+            0.10);
+}
+
+TEST(Generator, InteractionSkewMatchesFigure5) {
+  const auto ds = small_periscope(0.002, 5);
+  stats::Sampler comments, hearts;
+  for (const auto& b : ds.broadcasts) {
+    comments.add(b.comments);
+    hearts.add(static_cast<double>(b.hearts));
+  }
+  // ~10% of broadcasts draw >100 comments; ~10% draw >1000 hearts.
+  EXPECT_NEAR(comments.fraction_geq(100.0), 0.10, 0.05);
+  EXPECT_NEAR(hearts.fraction_geq(1000.0), 0.10, 0.05);
+  // The most-loved broadcast collects hearts on the 10^6 order (1.35M).
+  EXPECT_GT(hearts.max(), 2e5);
+}
+
+TEST(Generator, CommentsCappedByCommenterPolicy) {
+  const auto ds = small_periscope(0.002, 6);
+  // Comments stay bounded even for huge audiences: only ~100 can comment.
+  stats::Sampler big_audience_comments;
+  for (const auto& b : ds.broadcasts)
+    if (b.total_viewers() > 1000)
+      big_audience_comments.add(b.comments);
+  ASSERT_GT(big_audience_comments.size(), 10u);
+  // With a 100-commenter cap and lognormal(1,1) comments each, p95 stays
+  // within a few hundred; without the cap it would scale with viewers.
+  EXPECT_LT(big_audience_comments.quantile(0.95), 2000.0);
+}
+
+TEST(Generator, HlsViewerRule) {
+  BroadcastRecord b;
+  b.mobile_viewers = 30;
+  b.web_viewers = 20;
+  EXPECT_EQ(b.total_viewers(), 50u);
+  EXPECT_EQ(b.hls_viewers(100), 0u);
+  b.mobile_viewers = 150;
+  EXPECT_EQ(b.hls_viewers(100), 70u);
+  EXPECT_EQ(b.hls_viewers(50), 120u);
+}
+
+TEST(Generator, DailySeriesShowsOutageDip) {
+  const auto ds = small_periscope(0.004, 7);
+  const auto& p = ds.profile;
+  stats::DailySeries captured(p.days), all(p.days);
+  for (const auto& b : ds.broadcasts) {
+    all.add_day(b.day);
+    if (b.captured) captured.add_day(b.day);
+  }
+  const std::uint32_t outage_day =
+      static_cast<std::uint32_t>(p.outage_start_day) + 1;
+  const double ratio =
+      static_cast<double>(captured.at(outage_day)) /
+      static_cast<double>(all.at(outage_day));
+  EXPECT_NEAR(ratio, p.outage_capture_fraction, 0.12);
+  // Outside the outage everything is captured.
+  EXPECT_EQ(captured.at(40), all.at(40));
+}
+
+TEST(Generator, ViewerActivitySkew) {
+  const auto ds = small_periscope(0.004, 8);
+  stats::Sampler views;
+  for (const auto& u : ds.users)
+    if (u.broadcasts_viewed > 0) views.add(u.broadcasts_viewed);
+  ASSERT_GT(views.size(), 100u);
+  // Figure 6: the most active ~15% of viewers watch ~10x the median.
+  const double ratio = views.quantile(0.85) / std::max(1.0, views.median());
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 30.0);
+}
+
+TEST(Generator, FollowersCorrelateWithViewers) {
+  const auto ds = small_periscope(0.002, 9);
+  stats::Correlation corr;
+  for (const auto& b : ds.broadcasts) {
+    if (b.followers > 0 && b.total_viewers() > 0)
+      corr.add(std::log10(static_cast<double>(b.followers)),
+               std::log10(static_cast<double>(b.total_viewers())));
+  }
+  EXPECT_GT(corr.pearson(), 0.15);  // Figure 7's visible upward trend
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = small_periscope(0.0005, 42);
+  const auto b = small_periscope(0.0005, 42);
+  ASSERT_EQ(a.broadcasts.size(), b.broadcasts.size());
+  EXPECT_EQ(a.total_views(), b.total_views());
+  EXPECT_EQ(a.broadcasts[10].hearts, b.broadcasts[10].hearts);
+}
+
+TEST(Generator, ScaleScalesVolume) {
+  const auto small = small_periscope(0.0005, 1);
+  const auto big = small_periscope(0.001, 1);
+  const double ratio = static_cast<double>(big.broadcasts.size()) /
+                       static_cast<double>(small.broadcasts.size());
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(Generator, RegisteredUserEstimateTracksPopulation) {
+  const auto ds = small_periscope(0.002, 21);
+  const auto estimate = estimate_registered_users(ds);
+  // Sequential-id estimate must land close to the scaled population
+  // (12M * 0.002 = 24000), and never exceed it.
+  EXPECT_LE(estimate, 24000u);
+  EXPECT_GT(estimate, 24000u * 0.8);
+}
+
+TEST(Generator, HlsViewerPrevalenceMatchesPaper) {
+  // §4.1: "Among the complete set of periscope broadcasts (19.6M) ...
+  // 1.13M broadcasts (5.77%) had at least one HLS viewer, and 435K had at
+  // least 100 HLS viewers" (2.2%).
+  const auto ds = small_periscope(0.004, 30);
+  std::uint64_t any_hls = 0, hundred_hls = 0, total = 0;
+  for (const auto& b : ds.broadcasts) {
+    if (!b.captured) continue;
+    ++total;
+    if (b.hls_viewers(100) >= 1) ++any_hls;
+    if (b.hls_viewers(100) >= 100) ++hundred_hls;
+  }
+  const double any = static_cast<double>(any_hls) / total;
+  const double hundred = static_cast<double>(hundred_hls) / total;
+  EXPECT_GT(any, 0.03);
+  EXPECT_LT(any, 0.10);     // paper: 5.77%
+  EXPECT_GT(hundred, 0.005);
+  EXPECT_LT(hundred, 0.05); // paper: 2.2%
+}
+
+}  // namespace
+}  // namespace livesim::workload
