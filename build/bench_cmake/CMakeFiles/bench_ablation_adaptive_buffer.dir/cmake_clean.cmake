@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_adaptive_buffer"
+  "../bench/bench_ablation_adaptive_buffer.pdb"
+  "CMakeFiles/bench_ablation_adaptive_buffer.dir/bench_ablation_adaptive_buffer.cpp.o"
+  "CMakeFiles/bench_ablation_adaptive_buffer.dir/bench_ablation_adaptive_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_feedback_lag"
+  "../bench/bench_ablation_feedback_lag.pdb"
+  "CMakeFiles/bench_ablation_feedback_lag.dir/bench_ablation_feedback_lag.cpp.o"
+  "CMakeFiles/bench_ablation_feedback_lag.dir/bench_ablation_feedback_lag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_feedback_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overlay_multicast"
+  "../bench/bench_ablation_overlay_multicast.pdb"
+  "CMakeFiles/bench_ablation_overlay_multicast.dir/bench_ablation_overlay_multicast.cpp.o"
+  "CMakeFiles/bench_ablation_overlay_multicast.dir/bench_ablation_overlay_multicast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overlay_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rtmp_slots"
+  "../bench/bench_ablation_rtmp_slots.pdb"
+  "CMakeFiles/bench_ablation_rtmp_slots.dir/bench_ablation_rtmp_slots.cpp.o"
+  "CMakeFiles/bench_ablation_rtmp_slots.dir/bench_ablation_rtmp_slots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rtmp_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_signing"
+  "../bench/bench_ablation_signing.pdb"
+  "CMakeFiles/bench_ablation_signing.dir/bench_ablation_signing.cpp.o"
+  "CMakeFiles/bench_ablation_signing.dir/bench_ablation_signing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_daily_broadcasts"
+  "../bench/bench_fig01_daily_broadcasts.pdb"
+  "CMakeFiles/bench_fig01_daily_broadcasts.dir/bench_fig01_daily_broadcasts.cpp.o"
+  "CMakeFiles/bench_fig01_daily_broadcasts.dir/bench_fig01_daily_broadcasts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_daily_broadcasts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_interactions"
+  "../bench/bench_fig05_interactions.pdb"
+  "CMakeFiles/bench_fig05_interactions.dir/bench_fig05_interactions.cpp.o"
+  "CMakeFiles/bench_fig05_interactions.dir/bench_fig05_interactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

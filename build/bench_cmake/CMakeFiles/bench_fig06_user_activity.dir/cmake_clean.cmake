@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_user_activity"
+  "../bench/bench_fig06_user_activity.pdb"
+  "CMakeFiles/bench_fig06_user_activity.dir/bench_fig06_user_activity.cpp.o"
+  "CMakeFiles/bench_fig06_user_activity.dir/bench_fig06_user_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_user_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

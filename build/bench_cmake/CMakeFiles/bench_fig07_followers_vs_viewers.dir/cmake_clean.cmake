@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_followers_vs_viewers"
+  "../bench/bench_fig07_followers_vs_viewers.pdb"
+  "CMakeFiles/bench_fig07_followers_vs_viewers.dir/bench_fig07_followers_vs_viewers.cpp.o"
+  "CMakeFiles/bench_fig07_followers_vs_viewers.dir/bench_fig07_followers_vs_viewers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_followers_vs_viewers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_server_locations"
+  "../bench/bench_fig09_server_locations.pdb"
+  "CMakeFiles/bench_fig09_server_locations.dir/bench_fig09_server_locations.cpp.o"
+  "CMakeFiles/bench_fig09_server_locations.dir/bench_fig09_server_locations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_server_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_polling_delay_avg"
+  "../bench/bench_fig12_polling_delay_avg.pdb"
+  "CMakeFiles/bench_fig12_polling_delay_avg.dir/bench_fig12_polling_delay_avg.cpp.o"
+  "CMakeFiles/bench_fig12_polling_delay_avg.dir/bench_fig12_polling_delay_avg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_polling_delay_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

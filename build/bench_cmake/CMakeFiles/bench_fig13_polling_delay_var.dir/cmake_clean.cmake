@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_polling_delay_var"
+  "../bench/bench_fig13_polling_delay_var.pdb"
+  "CMakeFiles/bench_fig13_polling_delay_var.dir/bench_fig13_polling_delay_var.cpp.o"
+  "CMakeFiles/bench_fig13_polling_delay_var.dir/bench_fig13_polling_delay_var.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_polling_delay_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

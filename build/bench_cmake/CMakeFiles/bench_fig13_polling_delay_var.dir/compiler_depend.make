@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_polling_delay_var.
+# This may be replaced when dependencies are built.

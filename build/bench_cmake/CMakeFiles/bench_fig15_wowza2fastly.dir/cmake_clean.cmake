@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_wowza2fastly"
+  "../bench/bench_fig15_wowza2fastly.pdb"
+  "CMakeFiles/bench_fig15_wowza2fastly.dir/bench_fig15_wowza2fastly.cpp.o"
+  "CMakeFiles/bench_fig15_wowza2fastly.dir/bench_fig15_wowza2fastly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_wowza2fastly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_rtmp_buffering"
+  "../bench/bench_fig16_rtmp_buffering.pdb"
+  "CMakeFiles/bench_fig16_rtmp_buffering.dir/bench_fig16_rtmp_buffering.cpp.o"
+  "CMakeFiles/bench_fig16_rtmp_buffering.dir/bench_fig16_rtmp_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_rtmp_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_hls_buffering"
+  "../bench/bench_fig17_hls_buffering.pdb"
+  "CMakeFiles/bench_fig17_hls_buffering.dir/bench_fig17_hls_buffering.cpp.o"
+  "CMakeFiles/bench_fig17_hls_buffering.dir/bench_fig17_hls_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_hls_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

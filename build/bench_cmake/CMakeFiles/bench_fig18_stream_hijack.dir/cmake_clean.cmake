@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_stream_hijack"
+  "../bench/bench_fig18_stream_hijack.pdb"
+  "CMakeFiles/bench_fig18_stream_hijack.dir/bench_fig18_stream_hijack.cpp.o"
+  "CMakeFiles/bench_fig18_stream_hijack.dir/bench_fig18_stream_hijack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_stream_hijack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_social_graphs"
+  "../bench/bench_table2_social_graphs.pdb"
+  "CMakeFiles/bench_table2_social_graphs.dir/bench_table2_social_graphs.cpp.o"
+  "CMakeFiles/bench_table2_social_graphs.dir/bench_table2_social_graphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_social_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_day.dir/broadcast_day.cpp.o"
+  "CMakeFiles/broadcast_day.dir/broadcast_day.cpp.o.d"
+  "broadcast_day"
+  "broadcast_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

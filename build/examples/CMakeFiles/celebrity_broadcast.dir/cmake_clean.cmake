@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celebrity_broadcast.dir/celebrity_broadcast.cpp.o"
+  "CMakeFiles/celebrity_broadcast.dir/celebrity_broadcast.cpp.o.d"
+  "celebrity_broadcast"
+  "celebrity_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celebrity_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

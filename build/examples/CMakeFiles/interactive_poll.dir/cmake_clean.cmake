@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_poll.dir/interactive_poll.cpp.o"
+  "CMakeFiles/interactive_poll.dir/interactive_poll.cpp.o.d"
+  "interactive_poll"
+  "interactive_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rain_puddle.dir/rain_puddle.cpp.o"
+  "CMakeFiles/rain_puddle.dir/rain_puddle.cpp.o.d"
+  "rain_puddle"
+  "rain_puddle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rain_puddle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rain_puddle.
+# This may be replaced when dependencies are built.

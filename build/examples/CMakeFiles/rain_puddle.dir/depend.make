@@ -1,0 +1,2 @@
+# Empty dependencies file for rain_puddle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/livesim/analysis/experiments.cpp" "src/CMakeFiles/livesim.dir/livesim/analysis/experiments.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/analysis/experiments.cpp.o.d"
+  "/root/repo/src/livesim/analysis/trace_io.cpp" "src/CMakeFiles/livesim.dir/livesim/analysis/trace_io.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/analysis/trace_io.cpp.o.d"
+  "/root/repo/src/livesim/cdn/frontend.cpp" "src/CMakeFiles/livesim.dir/livesim/cdn/frontend.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/cdn/frontend.cpp.o.d"
+  "/root/repo/src/livesim/cdn/servers.cpp" "src/CMakeFiles/livesim.dir/livesim/cdn/servers.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/cdn/servers.cpp.o.d"
+  "/root/repo/src/livesim/cdn/w2f.cpp" "src/CMakeFiles/livesim.dir/livesim/cdn/w2f.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/cdn/w2f.cpp.o.d"
+  "/root/repo/src/livesim/client/adaptive.cpp" "src/CMakeFiles/livesim.dir/livesim/client/adaptive.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/client/adaptive.cpp.o.d"
+  "/root/repo/src/livesim/client/playback.cpp" "src/CMakeFiles/livesim.dir/livesim/client/playback.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/client/playback.cpp.o.d"
+  "/root/repo/src/livesim/core/broadcast_session.cpp" "src/CMakeFiles/livesim.dir/livesim/core/broadcast_session.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/core/broadcast_session.cpp.o.d"
+  "/root/repo/src/livesim/core/notifications.cpp" "src/CMakeFiles/livesim.dir/livesim/core/notifications.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/core/notifications.cpp.o.d"
+  "/root/repo/src/livesim/core/service.cpp" "src/CMakeFiles/livesim.dir/livesim/core/service.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/core/service.cpp.o.d"
+  "/root/repo/src/livesim/crawler/crawler.cpp" "src/CMakeFiles/livesim.dir/livesim/crawler/crawler.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/crawler/crawler.cpp.o.d"
+  "/root/repo/src/livesim/crawler/service_crawler.cpp" "src/CMakeFiles/livesim.dir/livesim/crawler/service_crawler.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/crawler/service_crawler.cpp.o.d"
+  "/root/repo/src/livesim/geo/datacenters.cpp" "src/CMakeFiles/livesim.dir/livesim/geo/datacenters.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/geo/datacenters.cpp.o.d"
+  "/root/repo/src/livesim/geo/geo.cpp" "src/CMakeFiles/livesim.dir/livesim/geo/geo.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/geo/geo.cpp.o.d"
+  "/root/repo/src/livesim/media/chunker.cpp" "src/CMakeFiles/livesim.dir/livesim/media/chunker.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/media/chunker.cpp.o.d"
+  "/root/repo/src/livesim/media/encoder.cpp" "src/CMakeFiles/livesim.dir/livesim/media/encoder.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/media/encoder.cpp.o.d"
+  "/root/repo/src/livesim/msg/pubsub.cpp" "src/CMakeFiles/livesim.dir/livesim/msg/pubsub.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/msg/pubsub.cpp.o.d"
+  "/root/repo/src/livesim/net/link.cpp" "src/CMakeFiles/livesim.dir/livesim/net/link.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/net/link.cpp.o.d"
+  "/root/repo/src/livesim/overlay/mesh.cpp" "src/CMakeFiles/livesim.dir/livesim/overlay/mesh.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/overlay/mesh.cpp.o.d"
+  "/root/repo/src/livesim/overlay/multicast.cpp" "src/CMakeFiles/livesim.dir/livesim/overlay/multicast.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/overlay/multicast.cpp.o.d"
+  "/root/repo/src/livesim/protocol/assembler.cpp" "src/CMakeFiles/livesim.dir/livesim/protocol/assembler.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/protocol/assembler.cpp.o.d"
+  "/root/repo/src/livesim/protocol/hls.cpp" "src/CMakeFiles/livesim.dir/livesim/protocol/hls.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/protocol/hls.cpp.o.d"
+  "/root/repo/src/livesim/protocol/rtmp.cpp" "src/CMakeFiles/livesim.dir/livesim/protocol/rtmp.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/protocol/rtmp.cpp.o.d"
+  "/root/repo/src/livesim/protocol/rtmps.cpp" "src/CMakeFiles/livesim.dir/livesim/protocol/rtmps.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/protocol/rtmps.cpp.o.d"
+  "/root/repo/src/livesim/protocol/wire.cpp" "src/CMakeFiles/livesim.dir/livesim/protocol/wire.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/protocol/wire.cpp.o.d"
+  "/root/repo/src/livesim/security/attack.cpp" "src/CMakeFiles/livesim.dir/livesim/security/attack.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/attack.cpp.o.d"
+  "/root/repo/src/livesim/security/sha256.cpp" "src/CMakeFiles/livesim.dir/livesim/security/sha256.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/sha256.cpp.o.d"
+  "/root/repo/src/livesim/security/stream_sign.cpp" "src/CMakeFiles/livesim.dir/livesim/security/stream_sign.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/stream_sign.cpp.o.d"
+  "/root/repo/src/livesim/security/wots.cpp" "src/CMakeFiles/livesim.dir/livesim/security/wots.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/wots.cpp.o.d"
+  "/root/repo/src/livesim/sim/simulator.cpp" "src/CMakeFiles/livesim.dir/livesim/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/sim/simulator.cpp.o.d"
+  "/root/repo/src/livesim/social/generators.cpp" "src/CMakeFiles/livesim.dir/livesim/social/generators.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/social/generators.cpp.o.d"
+  "/root/repo/src/livesim/social/graph.cpp" "src/CMakeFiles/livesim.dir/livesim/social/graph.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/social/graph.cpp.o.d"
+  "/root/repo/src/livesim/stats/csv.cpp" "src/CMakeFiles/livesim.dir/livesim/stats/csv.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/stats/csv.cpp.o.d"
+  "/root/repo/src/livesim/stats/histogram.cpp" "src/CMakeFiles/livesim.dir/livesim/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/stats/histogram.cpp.o.d"
+  "/root/repo/src/livesim/stats/report.cpp" "src/CMakeFiles/livesim.dir/livesim/stats/report.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/stats/report.cpp.o.d"
+  "/root/repo/src/livesim/stats/sampler.cpp" "src/CMakeFiles/livesim.dir/livesim/stats/sampler.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/stats/sampler.cpp.o.d"
+  "/root/repo/src/livesim/stats/validate.cpp" "src/CMakeFiles/livesim.dir/livesim/stats/validate.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/stats/validate.cpp.o.d"
+  "/root/repo/src/livesim/util/rng.cpp" "src/CMakeFiles/livesim.dir/livesim/util/rng.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/util/rng.cpp.o.d"
+  "/root/repo/src/livesim/workload/audience.cpp" "src/CMakeFiles/livesim.dir/livesim/workload/audience.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/workload/audience.cpp.o.d"
+  "/root/repo/src/livesim/workload/generator.cpp" "src/CMakeFiles/livesim.dir/livesim/workload/generator.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/workload/generator.cpp.o.d"
+  "/root/repo/src/livesim/workload/profiles.cpp" "src/CMakeFiles/livesim.dir/livesim/workload/profiles.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/workload/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

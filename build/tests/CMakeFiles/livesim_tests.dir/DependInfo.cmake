@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/livesim_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/livesim_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/livesim_tests.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_audience.cpp" "tests/CMakeFiles/livesim_tests.dir/test_audience.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_audience.cpp.o.d"
+  "/root/repo/tests/test_cdn.cpp" "tests/CMakeFiles/livesim_tests.dir/test_cdn.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_cdn.cpp.o.d"
+  "/root/repo/tests/test_crawler.cpp" "tests/CMakeFiles/livesim_tests.dir/test_crawler.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_crawler.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/livesim_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/livesim_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/livesim_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/livesim_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_media.cpp" "tests/CMakeFiles/livesim_tests.dir/test_media.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_media.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/livesim_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_msg.cpp" "tests/CMakeFiles/livesim_tests.dir/test_msg.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_msg.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/livesim_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_notifications.cpp" "tests/CMakeFiles/livesim_tests.dir/test_notifications.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_notifications.cpp.o.d"
+  "/root/repo/tests/test_overlay.cpp" "tests/CMakeFiles/livesim_tests.dir/test_overlay.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/test_playback.cpp" "tests/CMakeFiles/livesim_tests.dir/test_playback.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_playback.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/livesim_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/livesim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sample_data.cpp" "tests/CMakeFiles/livesim_tests.dir/test_sample_data.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_sample_data.cpp.o.d"
+  "/root/repo/tests/test_service.cpp" "tests/CMakeFiles/livesim_tests.dir/test_service.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_service.cpp.o.d"
+  "/root/repo/tests/test_service_crawler.cpp" "tests/CMakeFiles/livesim_tests.dir/test_service_crawler.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_service_crawler.cpp.o.d"
+  "/root/repo/tests/test_session_smoke.cpp" "tests/CMakeFiles/livesim_tests.dir/test_session_smoke.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_session_smoke.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/livesim_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/livesim_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_social.cpp" "tests/CMakeFiles/livesim_tests.dir/test_social.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_social.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/livesim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stream_sign.cpp" "tests/CMakeFiles/livesim_tests.dir/test_stream_sign.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_stream_sign.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/livesim_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/livesim_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/livesim_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/livesim_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/livesim_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/livesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
