@@ -12,8 +12,12 @@
 
 int main() {
   using namespace livesim;
+  // threads=0: shard trace generation and the polling sweeps over every
+  // hardware thread. Results are seed-deterministic at any thread count.
+  const unsigned threads = 0;
   analysis::TraceSetConfig cfg;
   cfg.broadcasts = 1600;  // paper: 16,013 crawled broadcasts
+  cfg.threads = threads;
   const auto traces = analysis::generate_traces(cfg);
 
   stats::print_banner(
@@ -25,7 +29,7 @@ int main() {
   for (DurationUs interval : {2 * time::kSecond, 3 * time::kSecond,
                               4 * time::kSecond}) {
     results.push_back(analysis::polling_experiment(
-        traces, interval, 300 * time::kMillisecond, 99));
+        traces, interval, 300 * time::kMillisecond, 99, threads));
   }
   for (double p : points) {
     std::printf("%-8.2f  %-8.3f  %-8.3f  %-8.3f\n", p,

@@ -11,8 +11,10 @@
 
 int main() {
   using namespace livesim;
+  const unsigned threads = 0;  // shard across all hardware threads
   analysis::TraceSetConfig cfg;
   cfg.broadcasts = 1600;
+  cfg.threads = threads;
   const auto traces = analysis::generate_traces(cfg);
 
   stats::print_banner(
@@ -23,7 +25,7 @@ int main() {
   for (DurationUs interval : {2 * time::kSecond, 3 * time::kSecond,
                               4 * time::kSecond}) {
     results.push_back(analysis::polling_experiment(
-        traces, interval, 300 * time::kMillisecond, 99));
+        traces, interval, 300 * time::kMillisecond, 99, threads));
   }
   for (double p : stats::linear_points(0.0, 2.0, 11)) {
     std::printf("%-8.2f  %-8.3f  %-8.3f  %-8.3f\n", p,

@@ -13,15 +13,20 @@
 
 int main() {
   using namespace livesim;
+  // threads=0: shard generation + playback simulation over all hardware
+  // threads; seed-deterministic at any thread count.
+  const unsigned threads = 0;
   analysis::TraceSetConfig cfg;
   cfg.broadcasts = 1600;  // paper: 16,013
+  cfg.threads = threads;
   const auto traces = analysis::generate_traces(cfg);
 
   const DurationUs pre_buffers[] = {0, 500 * time::kMillisecond,
                                     1 * time::kSecond};
   std::vector<analysis::BufferingStats> results;
   for (DurationUs p : pre_buffers)
-    results.push_back(analysis::rtmp_buffering_experiment(traces, p, 5));
+    results.push_back(
+        analysis::rtmp_buffering_experiment(traces, p, 5, threads));
 
   stats::print_banner("Figure 16(a): RTMP stalling ratio CDF");
   std::printf("%-10s  %-8s  %-8s  %-8s\n", "stall", "P=0s", "P=0.5s", "P=1s");

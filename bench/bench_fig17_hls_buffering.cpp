@@ -12,8 +12,10 @@
 
 int main() {
   using namespace livesim;
+  const unsigned threads = 0;  // shard across all hardware threads
   analysis::TraceSetConfig cfg;
   cfg.broadcasts = 1600;
+  cfg.threads = threads;
   const auto traces = analysis::generate_traces(cfg);
 
   const DurationUs poll = time::from_seconds(2.8);
@@ -21,7 +23,8 @@ int main() {
                                     9 * time::kSecond};
   std::vector<analysis::BufferingStats> results;
   for (DurationUs p : pre_buffers)
-    results.push_back(analysis::hls_buffering_experiment(traces, p, poll, 6));
+    results.push_back(
+        analysis::hls_buffering_experiment(traces, p, poll, 6, threads));
 
   stats::print_banner("Figure 17(a): HLS stalling ratio CDF");
   std::printf("%-10s  %-8s  %-8s  %-8s  %-8s\n", "stall", "P=0s", "P=3s",

@@ -37,6 +37,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/livesim/security/sha256.cpp" "src/CMakeFiles/livesim.dir/livesim/security/sha256.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/sha256.cpp.o.d"
   "/root/repo/src/livesim/security/stream_sign.cpp" "src/CMakeFiles/livesim.dir/livesim/security/stream_sign.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/stream_sign.cpp.o.d"
   "/root/repo/src/livesim/security/wots.cpp" "src/CMakeFiles/livesim.dir/livesim/security/wots.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/security/wots.cpp.o.d"
+  "/root/repo/src/livesim/sim/parallel.cpp" "src/CMakeFiles/livesim.dir/livesim/sim/parallel.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/sim/parallel.cpp.o.d"
   "/root/repo/src/livesim/sim/simulator.cpp" "src/CMakeFiles/livesim.dir/livesim/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/sim/simulator.cpp.o.d"
   "/root/repo/src/livesim/social/generators.cpp" "src/CMakeFiles/livesim.dir/livesim/social/generators.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/social/generators.cpp.o.d"
   "/root/repo/src/livesim/social/graph.cpp" "src/CMakeFiles/livesim.dir/livesim/social/graph.cpp.o" "gcc" "src/CMakeFiles/livesim.dir/livesim/social/graph.cpp.o.d"

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/livesim_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_net.cpp.o.d"
   "/root/repo/tests/test_notifications.cpp" "tests/CMakeFiles/livesim_tests.dir/test_notifications.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_notifications.cpp.o.d"
   "/root/repo/tests/test_overlay.cpp" "tests/CMakeFiles/livesim_tests.dir/test_overlay.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/test_parallel_runner.cpp" "tests/CMakeFiles/livesim_tests.dir/test_parallel_runner.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_parallel_runner.cpp.o.d"
   "/root/repo/tests/test_playback.cpp" "tests/CMakeFiles/livesim_tests.dir/test_playback.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_playback.cpp.o.d"
   "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/livesim_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_protocol.cpp.o.d"
   "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/livesim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_rng.cpp.o.d"
@@ -32,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_service_crawler.cpp" "tests/CMakeFiles/livesim_tests.dir/test_service_crawler.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_service_crawler.cpp.o.d"
   "/root/repo/tests/test_session_smoke.cpp" "tests/CMakeFiles/livesim_tests.dir/test_session_smoke.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_session_smoke.cpp.o.d"
   "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/livesim_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_simulator_properties.cpp" "tests/CMakeFiles/livesim_tests.dir/test_simulator_properties.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_simulator_properties.cpp.o.d"
   "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/livesim_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_soak.cpp.o.d"
   "/root/repo/tests/test_social.cpp" "tests/CMakeFiles/livesim_tests.dir/test_social.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_social.cpp.o.d"
   "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/livesim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/livesim_tests.dir/test_stats.cpp.o.d"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive test suites under
+# ThreadSanitizer. The parallel experiment runner promises deterministic,
+# race-free shard execution; this is the check that enforces the
+# "race-free" half (the determinism half is test_parallel_runner itself).
+#
+#   ./scripts/check_tsan.sh [build-dir]      # default: build-tsan
+#
+# Requires a compiler with -fsanitize=thread (GCC or Clang).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build-tsan}"
+
+cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" --target livesim_tests -j
+
+# The pool/shard layer plus the event-queue semantics it leans on. Any
+# TSan report makes the binary exit non-zero (abort_on_error).
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*'
+
+echo "TSan check passed: no data races in the parallel runner or simulator."

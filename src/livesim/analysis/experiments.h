@@ -7,6 +7,16 @@
 //  * buffering_*    -- §6's trace-driven playback simulation (Figs 16-17).
 //  * w2f_experiment -- §5.3's Wowza->Fastly transfer study (Fig 15).
 //  * delay_breakdown_experiment -- §5.1's controlled sessions (Fig 11).
+//
+// Parallel execution & determinism: the trace-driven drivers shard their
+// (independent) broadcasts across a worker pool (sim/parallel.h) and take
+// a `threads` knob (1 = serial, 0 = all hardware threads). Results are
+// guaranteed identical for the same seed at EVERY thread count:
+//  * generate_traces pre-draws each broadcast's seeds from the master RNG
+//    serially (the master stream advances a fixed 3 draws per broadcast),
+//    so its output is byte-identical to the historical serial loop.
+//  * polling/buffering derive one RNG substream per broadcast via
+//    sim::substream_seed(seed, index), and shards merge in index order.
 #ifndef LIVESIM_ANALYSIS_EXPERIMENTS_H
 #define LIVESIM_ANALYSIS_EXPERIMENTS_H
 
@@ -44,6 +54,7 @@ struct TraceSetConfig {
   double slow_start_fraction = 0.12;  // constrained ramp-up uplinks
   DurationUs chunk_target = 3 * time::kSecond;
   std::uint64_t seed = 1;
+  unsigned threads = 1;            // worker threads; 0 = all hardware threads
 };
 
 /// Generates per-broadcast arrival traces by simulating the broadcaster
@@ -63,7 +74,8 @@ struct PollingStats {
 PollingStats polling_experiment(const std::vector<BroadcastTrace>& traces,
                                 DurationUs interval,
                                 DurationUs w2f_offset,
-                                std::uint64_t seed);
+                                std::uint64_t seed,
+                                unsigned threads = 1);
 
 // --- §6: client buffering (Figures 16 & 17) ---
 
@@ -75,13 +87,13 @@ struct BufferingStats {
 /// RTMP viewer: frames stream server->client over a stable last mile.
 BufferingStats rtmp_buffering_experiment(
     const std::vector<BroadcastTrace>& traces, DurationUs pre_buffer,
-    std::uint64_t seed);
+    std::uint64_t seed, unsigned threads = 1);
 
 /// HLS viewer: chunks become available w2f after completion, fetched by a
 /// 2.8 s poll loop (the app's measured polling interval).
 BufferingStats hls_buffering_experiment(
     const std::vector<BroadcastTrace>& traces, DurationUs pre_buffer,
-    DurationUs poll_interval, std::uint64_t seed);
+    DurationUs poll_interval, std::uint64_t seed, unsigned threads = 1);
 
 // --- §5.3: Wowza -> Fastly transfers (Figure 15) ---
 

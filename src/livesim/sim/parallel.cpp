@@ -1,0 +1,122 @@
+#include "livesim/sim/parallel.h"
+
+#include <utility>
+
+namespace livesim::sim {
+
+namespace {
+
+std::uint64_t splitmix64_round(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two dependent rounds: mixing the stream index through the seeded state
+  // keeps nearby (seed, stream) pairs from producing correlated outputs.
+  return splitmix64_round(splitmix64_round(seed) ^ stream);
+}
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+std::vector<ShardRange> shard_ranges(std::size_t n, unsigned shards) {
+  std::vector<ShardRange> out;
+  if (n == 0) return out;
+  if (shards == 0) shards = 1;
+  const std::size_t k = std::min<std::size_t>(shards, n);
+  out.reserve(k);
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;  // first `extra` shards get one more item
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.push_back({begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned k = resolve_threads(threads);
+  workers_.reserve(k);
+  for (unsigned i = 0; i < k; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for_shards(
+    std::size_t n, unsigned threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  const auto ranges = shard_ranges(n, resolve_threads(threads));
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    // Serial path: same per-shard code, no pool. Keeps threads=1 free of
+    // synchronization so it is byte-for-byte the reference execution.
+    fn(0, ranges[0].begin, ranges[0].end);
+    return;
+  }
+  ThreadPool pool(static_cast<unsigned>(ranges.size()));
+  for (std::size_t s = 0; s < ranges.size(); ++s)
+    pool.submit([&, s] { fn(s, ranges[s].begin, ranges[s].end); });
+  pool.wait_idle();
+}
+
+}  // namespace livesim::sim

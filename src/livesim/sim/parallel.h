@@ -1,0 +1,114 @@
+// Parallel experiment execution: thread pool + shard partitioner.
+//
+// The paper's trace-driven simulations (§5.2 polling, §6 buffering) iterate
+// over thousands of *independent* broadcasts, so they parallelize across
+// streams with no coordination beyond a final merge. The contract of this
+// layer is DETERMINISM: for a fixed seed, results are identical at every
+// thread count (threads = 1 included). Two mechanisms make that hold:
+//
+//  1. Work is split into contiguous index shards and per-item outputs are
+//     written to pre-sized slots, so the merge order is always global index
+//     order no matter which worker ran which shard.
+//  2. Randomness is never drawn from a stream shared across workers. Either
+//     the per-item seeds are pre-drawn serially from the master RNG (exactly
+//     reproducing the legacy serial draw sequence), or each item derives an
+//     independent substream via `substream_seed` (splitmix64, the same
+//     mixer `Rng` seeds itself with).
+#ifndef LIVESIM_SIM_PARALLEL_H
+#define LIVESIM_SIM_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace livesim::sim {
+
+/// Mixes a master seed and a stream index into an independent substream
+/// seed (two rounds of splitmix64). Equal (seed, stream) pairs always map
+/// to the same value; distinct streams get statistically unrelated seeds.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+/// Resolves a thread-count knob: 0 means "all hardware threads", anything
+/// else is used as given. Never returns 0.
+unsigned resolve_threads(unsigned requested) noexcept;
+
+/// A contiguous slice [begin, end) of the item index space.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Partitions [0, n) into at most `shards` contiguous, near-equal ranges
+/// (sizes differ by at most one; empty ranges are never returned, so the
+/// result has min(shards, n) entries — or none when n == 0). The
+/// decomposition depends only on (n, shards), never on scheduling.
+std::vector<ShardRange> shard_ranges(std::size_t n, unsigned shards);
+
+/// Fixed-size worker pool with a shared task queue. Tasks are opaque
+/// thunks; exceptions thrown by tasks are captured and the first one is
+/// rethrown from wait_idle()/the destructor's caller path.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (resolve_threads applied, so 0 = hardware).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains the queue, joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task threw since the last wait.
+  void wait_idle();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits for drain
+  std::exception_ptr first_error_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(shard_index, begin, end)` for every shard of [0, n) with one
+/// shard per worker thread. Blocks until all shards complete; rethrows the
+/// first exception. With threads resolved to 1 (or n <= 1) everything runs
+/// inline on the calling thread — the serial path is literally the same
+/// code as each worker's loop.
+void parallel_for_shards(
+    std::size_t n, unsigned threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Maps `fn(i)` over [0, n) into a pre-sized vector, sharded across
+/// `threads` workers. Slot i always holds fn(i), so the output is
+/// independent of the thread count by construction.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, unsigned threads, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for_shards(n, threads,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+                      });
+  return out;
+}
+
+}  // namespace livesim::sim
+
+#endif  // LIVESIM_SIM_PARALLEL_H

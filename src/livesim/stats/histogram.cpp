@@ -25,6 +25,13 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& o) {
+  if (lo_ != o.lo_ || hi_ != o.hi_ || counts_.size() != o.counts_.size())
+    throw std::invalid_argument("Histogram::merge: incompatible binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+}
+
 double Histogram::bin_center(std::size_t bin) const {
   return lo_ + (static_cast<double>(bin) + 0.5) * width_;
 }

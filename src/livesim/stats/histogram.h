@@ -16,6 +16,14 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Adds another histogram's counts bin-by-bin. Requires identical
+  /// binning (same lo / hi / bin count); throws std::invalid_argument
+  /// otherwise. Integer counts make this exactly commutative/associative,
+  /// so shard merges are independent of merge order.
+  void merge(const Histogram& o);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::size_t bins() const noexcept { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const noexcept { return total_; }

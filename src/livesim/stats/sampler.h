@@ -21,6 +21,18 @@ class Sampler {
     sorted_ = false;
   }
 
+  /// Appends another sampler's samples in their insertion order.
+  ///
+  /// The summary moments are re-accumulated sample-by-sample rather than
+  /// combined with Accumulator::merge: that makes merging shard results in
+  /// index order produce a Sampler byte-identical to single-pass serial
+  /// accumulation, which the parallel experiment runner's determinism
+  /// guarantee (same output at every thread count) depends on.
+  void merge(const Sampler& o) {
+    samples_.reserve(samples_.size() + o.samples_.size());
+    for (double x : o.samples_) add(x);
+  }
+
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t size() const noexcept { return samples_.size(); }
@@ -42,6 +54,9 @@ class Sampler {
   /// Fraction of samples strictly below / at-or-above thresholds.
   double fraction_leq(double x) const { return cdf_at(x); }
   double fraction_geq(double x) const;
+
+  /// Samples in insertion order.
+  const std::vector<double>& samples() const noexcept { return samples_; }
 
   /// Sorted copy of the samples (cached).
   const std::vector<double>& sorted() const;

@@ -1,0 +1,180 @@
+// Property-style tests for the event-queue semantics the parallel runner
+// leans on: every shard runs its own Simulator, so cross-thread-count
+// determinism reduces to each Simulator being deterministic on its own —
+// stable same-instant ordering, exact cancellation semantics, monotone
+// clock, and run_until boundary behaviour. Each property is checked
+// against a trivially-correct reference model over many random schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "livesim/sim/simulator.h"
+#include "livesim/util/rng.h"
+
+namespace livesim::sim {
+namespace {
+
+struct Scheduled {
+  TimeUs t;
+  int label;
+  EventId id;
+};
+
+// Reference order: stable sort by time (insertion order breaks ties),
+// which is exactly the documented queue contract.
+std::vector<int> reference_order(const std::vector<Scheduled>& events) {
+  std::vector<Scheduled> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Scheduled& a, const Scheduled& b) {
+                     return a.t < b.t;
+                   });
+  std::vector<int> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back(e.label);
+  return out;
+}
+
+TEST(SimulatorProperty, SameInstantOrderingIsStable) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    Simulator sim;
+    std::vector<Scheduled> events;
+    std::vector<int> fired;
+    const int n = static_cast<int>(rng.uniform_int(1, 120));
+    for (int i = 0; i < n; ++i) {
+      // Few distinct instants => heavy tie-breaking pressure.
+      const TimeUs t = rng.uniform_int(0, 8) * 10;
+      const EventId id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+      events.push_back({t, i, id});
+    }
+    sim.run();
+    EXPECT_EQ(fired, reference_order(events)) << "round " << round;
+  }
+}
+
+TEST(SimulatorProperty, CancelledSubsetNeverFiresRestKeepsOrder) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    Simulator sim;
+    std::vector<Scheduled> events;
+    std::vector<int> fired;
+    const int n = static_cast<int>(rng.uniform_int(2, 100));
+    for (int i = 0; i < n; ++i) {
+      const TimeUs t = rng.uniform_int(0, 6) * 5;
+      const EventId id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+      events.push_back({t, i, id});
+    }
+    std::vector<Scheduled> kept;
+    for (const auto& e : events) {
+      if (rng.bernoulli(0.4)) {
+        EXPECT_TRUE(sim.cancel(e.id));
+        EXPECT_FALSE(sim.cancel(e.id));  // double-cancel always fails
+      } else {
+        kept.push_back(e);
+      }
+    }
+    EXPECT_EQ(sim.pending(), kept.size());
+    sim.run();
+    EXPECT_EQ(fired, reference_order(kept)) << "round " << round;
+  }
+}
+
+TEST(SimulatorProperty, CancelAfterFireReturnsFalse) {
+  Rng rng(13);
+  for (int round = 0; round < 20; ++round) {
+    Simulator sim;
+    std::vector<EventId> ids;
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    for (int i = 0; i < n; ++i)
+      ids.push_back(sim.schedule_at(rng.uniform_int(0, 100), [] {}));
+    sim.run();
+    // Every event has fired; cancelling any of them must report failure.
+    for (const EventId id : ids) EXPECT_FALSE(sim.cancel(id));
+    EXPECT_EQ(sim.events_processed(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(SimulatorProperty, PastSchedulesClampToNowAndClockIsMonotone) {
+  Rng rng(17);
+  for (int round = 0; round < 30; ++round) {
+    Simulator sim;
+    std::vector<TimeUs> fire_times;
+    const TimeUs anchor = 500;
+    sim.schedule_at(anchor, [&] {
+      // From inside an event at t=anchor, schedule with times all over
+      // [0, 2*anchor]; the past half must clamp to exactly `anchor`.
+      for (int i = 0; i < 40; ++i) {
+        const TimeUs t = rng.uniform_int(0, 2 * anchor);
+        sim.schedule_at(t, [&] { fire_times.push_back(sim.now()); });
+      }
+      sim.schedule_in(-100, [&] { fire_times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(fire_times.size(), 41u);
+    TimeUs prev = anchor;
+    for (const TimeUs t : fire_times) {
+      EXPECT_GE(t, anchor);  // nothing ever fires before the scheduling event
+      EXPECT_GE(t, prev);    // clock never goes backwards
+      prev = t;
+    }
+    // At least the negative-delay event clamped to exactly `anchor`.
+    EXPECT_EQ(fire_times.front(), anchor);
+  }
+}
+
+TEST(SimulatorProperty, RunUntilPartitionsEventsAtBoundary) {
+  Rng rng(19);
+  for (int round = 0; round < 40; ++round) {
+    Simulator sim;
+    std::vector<TimeUs> fired;
+    std::vector<TimeUs> times;
+    const int n = static_cast<int>(rng.uniform_int(1, 80));
+    for (int i = 0; i < n; ++i) {
+      const TimeUs t = rng.uniform_int(0, 1000);
+      times.push_back(t);
+      sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+    }
+    const TimeUs boundary = rng.uniform_int(0, 1000);
+    sim.run_until(boundary);
+
+    const auto expected_fired = static_cast<std::size_t>(
+        std::count_if(times.begin(), times.end(),
+                      [&](TimeUs t) { return t <= boundary; }));
+    EXPECT_EQ(fired.size(), expected_fired);
+    for (const TimeUs t : fired) EXPECT_LE(t, boundary);
+    EXPECT_EQ(sim.pending(), times.size() - expected_fired);
+    // Clock lands exactly on the boundary even with no event there.
+    EXPECT_EQ(sim.now(), boundary);
+
+    // run_until into the past is a no-op: no events, clock unchanged.
+    sim.run_until(boundary / 2);
+    EXPECT_EQ(sim.now(), boundary);
+    EXPECT_EQ(fired.size(), expected_fired);
+
+    sim.run();
+    EXPECT_EQ(fired.size(), times.size());
+  }
+}
+
+TEST(SimulatorProperty, RunUntilAfterCancelSkipsTombstones) {
+  Rng rng(23);
+  for (int round = 0; round < 30; ++round) {
+    Simulator sim;
+    int fired = 0;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 50; ++i)
+      ids.push_back(sim.schedule_at(rng.uniform_int(0, 100), [&] { ++fired; }));
+    int cancelled = 0;
+    for (const EventId id : ids) {
+      if (rng.bernoulli(0.5) && sim.cancel(id)) ++cancelled;
+    }
+    sim.run_until(100);  // past every event: only survivors fire
+    EXPECT_EQ(fired, 50 - cancelled);
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_EQ(sim.now(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace livesim::sim

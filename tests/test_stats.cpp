@@ -143,6 +143,121 @@ TEST(Sampler, AddAfterSortInvalidatesCache) {
   EXPECT_DOUBLE_EQ(s.median(), 15.0);
 }
 
+TEST(SamplerMerge, WithEmptyIsIdentityBothWays) {
+  Sampler s, empty;
+  s.add(1.0);
+  s.add(4.0);
+  s.merge(empty);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  empty.merge(s);
+  EXPECT_EQ(empty.size(), 2u);
+  EXPECT_EQ(empty.samples(), s.samples());
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.5);
+  Sampler both;  // empty.merge(empty) stays empty
+  both.merge(Sampler{});
+  EXPECT_TRUE(both.empty());
+}
+
+TEST(SamplerMerge, EqualsSinglePassAccumulationExactly) {
+  // The determinism contract: merging contiguous shards in index order is
+  // bit-identical to one serial pass, including the streaming moments.
+  Sampler whole, a, b, c;
+  for (int i = 0; i < 999; ++i) {
+    const double x = std::sin(i * 0.37) * 12.0 + i * 0.003;
+    whole.add(x);
+    (i < 300 ? a : i < 700 ? b : c).add(x);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.samples(), whole.samples());
+  EXPECT_EQ(a.mean(), whole.mean());      // exact, not NEAR
+  EXPECT_EQ(a.stddev(), whole.stddev());
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+  EXPECT_EQ(a.median(), whole.median());
+}
+
+TEST(SamplerMerge, OrderIndependentUpToFpTolerance) {
+  Sampler a1, b1, a2, b2;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::cos(i * 0.11) * 3.0;
+    const double y = std::sin(i * 0.23) * 7.0;
+    a1.add(x);
+    a2.add(x);
+    b1.add(y);
+    b2.add(y);
+  }
+  a1.merge(b1);  // A then B
+  b2.merge(a2);  // B then A
+  EXPECT_EQ(a1.size(), b2.size());
+  EXPECT_NEAR(a1.mean(), b2.mean(), 1e-12);
+  EXPECT_NEAR(a1.stddev(), b2.stddev(), 1e-12);
+  EXPECT_EQ(a1.min(), b2.min());
+  EXPECT_EQ(a1.max(), b2.max());
+  // Quantiles see the same multiset regardless of merge order.
+  EXPECT_NEAR(a1.quantile(0.9), b2.quantile(0.9), 1e-12);
+}
+
+TEST(SamplerMerge, CdfCoversMergedSamples) {
+  Sampler a, b;
+  for (double x : {1.0, 2.0}) a.add(x);
+  for (double x : {3.0, 4.0}) b.add(x);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(a.cdf_at(4.0), 1.0);
+}
+
+TEST(HistogramMerge, AddsCountsBinByBin) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(0.5);
+  a.add(5.5);
+  b.add(5.7);
+  b.add(20.0);  // clamps into last bin
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(5), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+}
+
+TEST(HistogramMerge, WithEmptyIsIdentity) {
+  Histogram a(0.0, 1.0, 4), empty(0.0, 1.0, 4);
+  a.add(0.1);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+  EXPECT_EQ(empty.count(0), 1u);
+}
+
+TEST(HistogramMerge, EqualsSinglePassAndIsOrderIndependent) {
+  Histogram whole(-5.0, 5.0, 20), left(-5.0, 5.0, 20), right(-5.0, 5.0, 20);
+  Histogram rl(-5.0, 5.0, 20);
+  for (int i = 0; i < 400; ++i) {
+    const double x = std::sin(i * 0.7) * 6.0;  // exercises clamping too
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  Histogram lr = left;
+  lr.merge(right);
+  rl.merge(right);
+  rl.merge(left);
+  ASSERT_EQ(lr.total(), whole.total());
+  ASSERT_EQ(rl.total(), whole.total());
+  for (std::size_t bin = 0; bin < whole.bins(); ++bin) {
+    EXPECT_EQ(lr.count(bin), whole.count(bin));  // integer counts: exact
+    EXPECT_EQ(rl.count(bin), whole.count(bin));  // and fully commutative
+  }
+}
+
+TEST(HistogramMerge, IncompatibleBinningThrows) {
+  Histogram a(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 5)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 20.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 10)), std::invalid_argument);
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(10, 10, 5), std::invalid_argument);
