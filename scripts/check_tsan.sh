@@ -7,18 +7,39 @@
 #   ./scripts/check_tsan.sh [build-dir]      # default: build-tsan
 #
 # Requires a compiler with -fsanitize=thread (GCC or Clang).
-set -euo pipefail
+# Every failure path prints an explicit "TSan check FAILED" summary and
+# exits non-zero — a broken sanitizer configure or build must never be
+# mistaken for a pass.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build-tsan}"
 
+fail() {
+  echo "TSan check FAILED: $1" >&2
+  exit 1
+}
+
 cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD" --target livesim_tests -j
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  || fail "configure with -fsanitize=thread did not succeed (compiler without TSan support?)"
+
+cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests -j \
+  || fail "sanitized build did not succeed"
+
+[ -x "$BUILD"/tests/livesim_tests ] \
+  || fail "sanitized test binary was not produced at $BUILD/tests/livesim_tests"
 
 # The pool/shard layer plus the event-queue semantics it leans on. Any
 # TSan report makes the binary exit non-zero (abort_on_error).
 TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
-  "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*'
+  "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*' \
+  || fail "data race or test failure in the parallel runner / simulator suites"
 
-echo "TSan check passed: no data races in the parallel runner or simulator."
+# The resilience experiment shards fault-injected broadcasts over the same
+# pool; its determinism tests double as a race detector for the fault path.
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*' \
+  || fail "data race or test failure in the resilience determinism suites"
+
+echo "TSan check passed: no data races in the parallel runner, simulator, or resilience experiment."

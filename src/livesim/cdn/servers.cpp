@@ -5,6 +5,11 @@
 namespace livesim::cdn {
 
 void IngestServer::on_frame(const media::VideoFrame& frame) {
+  if (down_) {
+    // Crashed server: the frame hit a dead socket and is gone.
+    ++frames_dropped_;
+    return;
+  }
   ++frames_ingested_;
   cpu_.charge_frame_ingest();
   ingress_bytes_ += frame.size_bytes;
@@ -18,6 +23,7 @@ void IngestServer::on_frame(const media::VideoFrame& frame) {
 }
 
 void IngestServer::on_end_of_stream() {
+  if (down_) return;
   if (auto sealed = chunker_.flush(sim_.now())) emit_chunk(*sealed);
 }
 

@@ -51,6 +51,13 @@ class IngestServer {
 
   void set_chunk_listener(ChunkSink sink) { chunk_listener_ = std::move(sink); }
 
+  /// Fault injection: while down, the server is a dead socket — frames
+  /// are dropped (counted), no chunks seal, no RTMP pushes happen. The
+  /// chunker state survives the crash (Wowza restarts on the same box).
+  void set_down(bool down) noexcept { down_ = down; }
+  bool down() const noexcept { return down_; }
+  std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+
   DatacenterId site() const noexcept { return site_; }
   const media::ChunkList& playlist() const noexcept {
     return chunker_.playlist();
@@ -73,6 +80,8 @@ class IngestServer {
   CpuMeter cpu_;
   std::vector<FrameSink> rtmp_subscribers_;
   ChunkSink chunk_listener_;
+  bool down_ = false;
+  std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_ingested_ = 0;
   std::uint64_t egress_bytes_ = 0;
   std::uint64_t ingress_bytes_ = 0;
@@ -122,6 +131,16 @@ class EdgeServer {
     max_attempts_ = max_attempts;
   }
 
+  /// Fault injection: drops every cached chunk (a cache node restart).
+  /// First-availability timestamps survive (they are measurements, not
+  /// state), but the next poll must re-pull from the origin.
+  void flush_cache() noexcept {
+    cache_.clear();
+    cached_seq_ = -1;
+    ++cache_flushes_;
+  }
+  std::uint64_t cache_flushes() const noexcept { return cache_flushes_; }
+
  private:
   struct Waiter {
     std::int64_t last_seq;
@@ -145,6 +164,7 @@ class EdgeServer {
   std::uint64_t polls_ = 0;
   std::uint64_t fetches_ = 0;
   std::uint64_t fetch_failures_ = 0;
+  std::uint64_t cache_flushes_ = 0;
   std::uint64_t egress_bytes_ = 0;
   DurationUs retry_backoff_ = 250 * time::kMillisecond;
   std::uint32_t max_attempts_ = 4;

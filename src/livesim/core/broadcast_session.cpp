@@ -46,6 +46,12 @@ cdn::EdgeServer& BroadcastSession::edge_for(DatacenterId site) {
   cdn::W2FModel w2f(catalog_, config_.latency, config_.w2f);
   auto fetch = [this, site, w2f](
                    std::function<void(cdn::EdgeServer::FetchResult)> done) {
+    if (ingest_->down()) {
+      // Dead origin: the pull times out and the edge retries with backoff.
+      sim_.schedule_in(500 * time::kMillisecond,
+                       [done = std::move(done)] { done(std::nullopt); });
+      return;
+    }
     // Sample the origin-pull latency, then deliver a snapshot of the
     // ingest playlist as it stands when the transfer completes.
     const auto& playlist = ingest_->playlist();
@@ -142,6 +148,83 @@ void BroadcastSession::start() {
                                       : config_.broadcaster_location,
                /*hls=*/i >= config_.rtmp_viewers);
   }
+
+  arm_faults();
+}
+
+void BroadcastSession::arm_faults() {
+  // Empty schedule: no injector, no extra RNG draws, no event-queue
+  // traffic -- the session is bit-identical to the pre-fault code.
+  if (config_.faults.empty()) return;
+  injector_ = std::make_unique<fault::FaultInjector>(sim_, config_.faults);
+  injector_->on(fault::FaultKind::kIngestCrash,
+                [this](const fault::FaultEvent& e) { on_ingest_crash(e); });
+  injector_->on(fault::FaultKind::kEdgeCacheFlush,
+                [this](const fault::FaultEvent& e) {
+                  for (auto& [site, edge] : edges_)
+                    if (e.target == 0 || e.target == site) edge->flush_cache();
+                });
+  injector_->on(fault::FaultKind::kLinkDegrade,
+                [this](const fault::FaultEvent& e) {
+                  // Partition on the broadcaster's last mile: frames queue
+                  // and flood out at recovery (the Fig 16b mechanism).
+                  uplink_->inject_outage(e.duration);
+                });
+  injector_->on(fault::FaultKind::kChunkCorruption,
+                [this](const fault::FaultEvent& e) {
+                  const TimeUs until = sim_.now() + e.duration;
+                  if (until > corruption_until_) corruption_until_ = until;
+                  corruption_prob_ = e.magnitude > 0.0 ? e.magnitude : 0.5;
+                });
+  injector_->arm();
+}
+
+void BroadcastSession::on_ingest_crash(const fault::FaultEvent& e) {
+  ingest_->set_down(true);
+  const TimeUs crashed_at = sim_.now();
+  if (e.duration > 0)
+    sim_.schedule_in(e.duration, [this] { ingest_->set_down(false); });
+
+  // RTMP clients notice the dead connection after the socket timeout and
+  // fail over to HLS: re-attach to the nearest edge, which pulls from the
+  // (restarted) origin over the same W2F path every HLS viewer uses.
+  sim_.schedule_in(config_.failover_detect_timeout, [this, crashed_at] {
+    for (auto& vp : viewers_) {
+      Viewer& v = *vp;
+      if (!v.active || v.hls) continue;
+      migrate_rtmp_viewer(v, crashed_at);
+    }
+  });
+}
+
+void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
+  v.hls = true;
+  ++rtmp_failovers_;
+  v.failover_crash_at = crashed_at;
+  v.attachment = catalog_.nearest(v.location, geo::CdnRole::kEdge).id;
+
+  // Rebuild the last mile toward the edge (different distance).
+  auto link_params = config_.viewer_last_mile;
+  const double km =
+      geo::haversine_km(v.location, catalog_.get(v.attachment).location);
+  link_params.base_delay += config_.latency.mean_delay(km);
+  v.link = std::make_unique<net::Link>(sim_, link_params, rng_.fork());
+
+  // The client tears down its RTMP pipeline and re-buffers on HLS: the
+  // playback schedule re-anchors at the HLS pre-buffer, otherwise every
+  // post-crash chunk would miss its (pre-crash) slot and be discarded.
+  v.prior_playback = std::move(v.playback);
+  v.playback =
+      std::make_unique<client::PlaybackSchedule>(config_.hls_prebuffer);
+
+  // Resume from the live edge of the stream: replaying chunks the viewer
+  // already watched over RTMP would only register as stalls.
+  std::int64_t last = -1;
+  for (const auto& [seq, at] : chunk_completed_)
+    if (at <= crashed_at && static_cast<std::int64_t>(seq) > last)
+      last = static_cast<std::int64_t>(seq);
+  v.last_seq = last;
+  start_hls_polling(v);
 }
 
 std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
@@ -178,11 +261,13 @@ void BroadcastSession::attach_rtmp_viewer(Viewer& v) {
   auto* viewer = &v;
   ingest_->add_rtmp_subscriber(
       [this, viewer](const media::VideoFrame& f, TimeUs at_ingest) {
-        if (!viewer->active) return;  // viewer left: connection torn down
+        // Skip if the viewer left (connection torn down) or failed over to
+        // HLS after an ingest crash (the old subscription is dead).
+        if (!viewer->active || viewer->hls) return;
         const DurationUs d =
             viewer->link->sample_delay(f.size_bytes + kFrameHeaderBytes);
         sim_.schedule_in(d, [this, viewer, f, at_ingest, d] {
-          if (!viewer->active) return;
+          if (!viewer->active || viewer->hls) return;
           rtmp_.last_mile_s.add(time::to_seconds(d));
           viewer->playback->on_arrival(at_ingest + d, f.capture_ts,
                                        f.duration);
@@ -211,6 +296,11 @@ void BroadcastSession::record_hls_chunk(Viewer& v, const media::Chunk& c,
     hls_.polling_s.add(time::to_seconds(polling));
   }
   hls_.last_mile_s.add(time::to_seconds(download_delay));
+  if (v.failover_crash_at >= 0) {
+    // First post-failover chunk on screen: the migration is complete.
+    failover_latency_s_.add(time::to_seconds(recv_time - v.failover_crash_at));
+    v.failover_crash_at = -1;
+  }
   if (config_.record_journeys && &v == first_hls_viewer_) {
     ChunkJourney j;
     j.seq = c.seq;
@@ -261,6 +351,15 @@ void BroadcastSession::start_hls_polling(Viewer& v) {
                     resp_d, [this, viewer, poll_at_edge, served_at, resp_d,
                              fresh = std::move(fresh)] {
                       const TimeUs recv = served_at + resp_d;
+                      // Injected corruption window: the download fails its
+                      // integrity check and is discarded whole; the next
+                      // poll tick re-fetches (chunk re-fetch on corruption).
+                      if (recv < corruption_until_ && !fresh.empty() &&
+                          rng_.bernoulli(corruption_prob_)) {
+                        ++corrupted_downloads_;
+                        viewer->poll_outstanding = false;
+                        return;
+                      }
                       for (const auto& c : fresh) {
                         if (static_cast<std::int64_t>(c.seq) <=
                             viewer->last_seq)
@@ -282,6 +381,9 @@ void BroadcastSession::finalize() {
   for (const auto& v : viewers_) {
     auto& breakdown = v->hls ? hls_ : rtmp_;
     breakdown.buffering_s.merge(v->playback->buffering_delay_s());
+    // A migrated viewer's retired schedule covers its RTMP phase.
+    if (v->prior_playback)
+      rtmp_.buffering_s.merge(v->prior_playback->buffering_delay_s());
   }
 }
 
@@ -298,6 +400,22 @@ BroadcastSession::viewer_results() const {
     r.mean_buffering_s = v->playback->buffering_delay_s().mean();
     r.units_played = v->playback->units_played();
     r.units_discarded = v->playback->units_discarded();
+    if (v->prior_playback) {
+      // Fold the retired RTMP phase back in: stall weighted by each
+      // phase's offered media, buffering via accumulator merge.
+      const auto& prior = *v->prior_playback;
+      const double off_a = static_cast<double>(prior.media_offered());
+      const double off_b = static_cast<double>(v->playback->media_offered());
+      if (off_a + off_b > 0.0)
+        r.stall_ratio = (prior.stall_ratio() * off_a +
+                         v->playback->stall_ratio() * off_b) /
+                        (off_a + off_b);
+      stats::Accumulator merged = prior.buffering_delay_s();
+      merged.merge(v->playback->buffering_delay_s());
+      r.mean_buffering_s = merged.mean();
+      r.units_played += prior.units_played();
+      r.units_discarded += prior.units_discarded();
+    }
     out.push_back(r);
   }
   return out;

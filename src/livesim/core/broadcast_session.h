@@ -22,10 +22,13 @@
 #include "livesim/cdn/w2f.h"
 #include "livesim/client/playback.h"
 #include "livesim/core/delay_breakdown.h"
+#include "livesim/fault/fault.h"
+#include "livesim/fault/injector.h"
 #include "livesim/geo/datacenters.h"
 #include "livesim/media/encoder.h"
 #include "livesim/net/link.h"
 #include "livesim/sim/simulator.h"
+#include "livesim/stats/accumulator.h"
 
 namespace livesim::core {
 
@@ -62,6 +65,14 @@ struct SessionConfig {
   /// Records a per-chunk event ledger (the Figure 10 timestamps) for the
   /// first HLS viewer. Small per-chunk overhead; off by default.
   bool record_journeys = false;
+
+  /// Fault script injected into this session (fault/fault.h). Empty (the
+  /// default) means no injector is created and the session is bit-for-bit
+  /// identical to the pre-fault behaviour. Times are relative to start().
+  fault::FaultSchedule faults{};
+  /// How long a dead RTMP connection goes unnoticed before the client
+  /// fails over to HLS (socket timeout + app reaction).
+  DurationUs failover_detect_timeout = 2 * time::kSecond;
 
   std::uint64_t seed = 1;
 };
@@ -121,6 +132,22 @@ class BroadcastSession {
   cdn::IngestServer& ingest() noexcept { return *ingest_; }
   DatacenterId ingest_site() const noexcept { return ingest_site_; }
 
+  // --- resilience ---
+  /// RTMP viewers migrated to the HLS path after an ingest crash.
+  std::uint64_t rtmp_failovers() const noexcept { return rtmp_failovers_; }
+  /// Crash -> first HLS chunk on the migrated viewer's screen, seconds.
+  const stats::Accumulator& failover_latency_s() const noexcept {
+    return failover_latency_s_;
+  }
+  /// HLS downloads discarded as corrupt (client re-fetches on next poll).
+  std::uint64_t corrupted_downloads() const noexcept {
+    return corrupted_downloads_;
+  }
+  /// Faults dispatched so far (0 when the schedule is empty).
+  std::uint64_t faults_injected() const noexcept {
+    return injector_ ? injector_->injected() : 0;
+  }
+
   /// Edge servers created by this session (keyed by datacenter id).
   const std::unordered_map<std::uint64_t, std::unique_ptr<cdn::EdgeServer>>&
   edges() const noexcept {
@@ -156,9 +183,16 @@ class BroadcastSession {
     DatacenterId attachment{};
     std::unique_ptr<net::Link> link;
     std::unique_ptr<client::PlaybackSchedule> playback;
+    /// RTMP-phase schedule retired at failover: the client flushes its
+    /// pipeline and re-buffers on HLS, so `playback` is replaced and the
+    /// old one is kept for result accounting. Null unless migrated.
+    std::unique_ptr<client::PlaybackSchedule> prior_playback;
     std::unique_ptr<sim::PeriodicProcess> poll_process;  // HLS only
     std::int64_t last_seq = -1;
     bool poll_outstanding = false;
+    /// Set while an RTMP->HLS failover is in flight: the crash time,
+    /// cleared (and the latency recorded) when the first chunk lands.
+    TimeUs failover_crash_at = -1;
   };
 
   cdn::EdgeServer& edge_for(DatacenterId site);
@@ -166,6 +200,9 @@ class BroadcastSession {
   void start_hls_polling(Viewer& v);
   void record_hls_chunk(Viewer& v, const media::Chunk& c, TimeUs poll_at_edge,
                         TimeUs recv_time, DurationUs download_delay);
+  void arm_faults();
+  void on_ingest_crash(const fault::FaultEvent& e);
+  void migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at);
 
   sim::Simulator& sim_;
   const geo::DatacenterCatalog& catalog_;
@@ -183,6 +220,14 @@ class BroadcastSession {
   std::vector<std::unique_ptr<sim::PeriodicProcess>> crawler_processes_;
   std::vector<std::unique_ptr<Viewer>> viewers_;
   Viewer* first_hls_viewer_ = nullptr;  // journey-ledger subject
+
+  // Fault state (all inert when config_.faults is empty).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  TimeUs corruption_until_ = 0;   // HLS downloads may corrupt before this
+  double corruption_prob_ = 0.0;
+  std::uint64_t corrupted_downloads_ = 0;
+  std::uint64_t rtmp_failovers_ = 0;
+  stats::Accumulator failover_latency_s_;
 
   // Measurement state.
   bool finalized_ = false;

@@ -1,0 +1,28 @@
+#include "livesim/fault/backoff.h"
+
+namespace livesim::fault {
+
+DurationUs BackoffPolicy::base_delay(std::uint32_t attempt) const noexcept {
+  if (attempt == 0) attempt = 1;
+  // Compute in double: 2^60 µs is ~36k years, far past any cap, and the
+  // double path cannot overflow the way repeated integer doubling can.
+  double d = static_cast<double>(params_.base);
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    d *= params_.multiplier;
+    if (d >= static_cast<double>(params_.cap)) break;
+  }
+  if (d > static_cast<double>(params_.cap)) d = static_cast<double>(params_.cap);
+  const auto out = static_cast<DurationUs>(d);
+  return out > 0 ? out : 1;
+}
+
+DurationUs BackoffPolicy::delay(std::uint32_t attempt,
+                                Rng& rng) const noexcept {
+  const double jitter =
+      1.0 + params_.jitter_fraction * (2.0 * rng.uniform() - 1.0);
+  const auto out = static_cast<DurationUs>(
+      static_cast<double>(base_delay(attempt)) * jitter);
+  return out > 0 ? out : 1;
+}
+
+}  // namespace livesim::fault

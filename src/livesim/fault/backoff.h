@@ -1,0 +1,48 @@
+// Exponential backoff with a cap and deterministic jitter.
+//
+// The retry discipline shared by the resilience machinery: clients retry
+// timed-out polls with it, the failover path paces its reconnect
+// attempts with it. Jitter comes from the caller's RNG stream, so two
+// runs with the same seed back off identically — and retries across a
+// fleet of simulated clients decorrelate instead of thundering back in
+// lockstep.
+#ifndef LIVESIM_FAULT_BACKOFF_H
+#define LIVESIM_FAULT_BACKOFF_H
+
+#include <cstdint>
+
+#include "livesim/util/rng.h"
+#include "livesim/util/time.h"
+
+namespace livesim::fault {
+
+class BackoffPolicy {
+ public:
+  struct Params {
+    DurationUs base = 500 * time::kMillisecond;  // attempt-1 delay
+    double multiplier = 2.0;                     // growth per attempt
+    DurationUs cap = 8 * time::kSecond;          // pre-jitter ceiling
+    double jitter_fraction = 0.2;  // uniform multiplier in [1-j, 1+j]
+  };
+
+  BackoffPolicy() = default;
+  explicit BackoffPolicy(Params params) : params_(params) {}
+
+  /// Un-jittered delay for 1-based `attempt`:
+  /// min(base * multiplier^(attempt-1), cap). Never below 1 µs.
+  DurationUs base_delay(std::uint32_t attempt) const noexcept;
+
+  /// Jittered delay: base_delay(attempt) scaled by a uniform draw in
+  /// [1 - jitter_fraction, 1 + jitter_fraction]. Deterministic given the
+  /// RNG state; always >= 1 µs.
+  DurationUs delay(std::uint32_t attempt, Rng& rng) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace livesim::fault
+
+#endif  // LIVESIM_FAULT_BACKOFF_H

@@ -1,0 +1,22 @@
+#include "livesim/fault/injector.h"
+
+namespace livesim::fault {
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const auto& e : schedule_.events()) {
+    sim_.schedule_in(e.at, [this, e] {
+      ++counts_[static_cast<std::size_t>(e.kind)];
+      for (const auto& h : handlers_[static_cast<std::size_t>(e.kind)]) h(e);
+    });
+  }
+}
+
+std::uint64_t FaultInjector::injected() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto c : counts_) total += c;
+  return total;
+}
+
+}  // namespace livesim::fault

@@ -1,0 +1,59 @@
+// FaultInjector: replays a FaultSchedule against a running simulation.
+//
+// Components register a handler per fault kind; arm() schedules every
+// event on the simulator clock and dispatches it to the handlers when it
+// fires. The injector itself draws no randomness — all nondeterminism
+// lives in the schedule (seeded) and in what handlers do with their own
+// RNG streams — so a faulty run is exactly as reproducible as a clean one.
+#ifndef LIVESIM_FAULT_INJECTOR_H
+#define LIVESIM_FAULT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "livesim/fault/fault.h"
+#include "livesim/sim/simulator.h"
+
+namespace livesim::fault {
+
+class FaultInjector {
+ public:
+  using Handler = std::function<void(const FaultEvent&)>;
+
+  FaultInjector(sim::Simulator& sim, FaultSchedule schedule)
+      : sim_(sim), schedule_(std::move(schedule)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a handler for one fault kind (several handlers per kind
+  /// are allowed; they fire in registration order). Call before arm().
+  void on(FaultKind kind, Handler handler) {
+    handlers_[static_cast<std::size_t>(kind)].push_back(std::move(handler));
+  }
+
+  /// Schedules every event at `now + event.at`. Events without a handler
+  /// are counted but otherwise no-ops. Idempotent.
+  void arm();
+
+  /// Events dispatched so far (total / per kind).
+  std::uint64_t injected() const noexcept;
+  std::uint64_t injected(FaultKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  sim::Simulator& sim_;
+  FaultSchedule schedule_;
+  std::array<std::vector<Handler>, kFaultKindCount> handlers_{};
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+  bool armed_ = false;
+};
+
+}  // namespace livesim::fault
+
+#endif  // LIVESIM_FAULT_INJECTOR_H

@@ -68,6 +68,11 @@ double FifoUplink::bandwidth_at(TimeUs t) const noexcept {
   return full * frac;
 }
 
+void FifoUplink::inject_outage(DurationUs duration) {
+  const TimeUs end = sim_.now() + duration;
+  if (end > next_free_) next_free_ = end;
+}
+
 TimeUs FifoUplink::send(std::size_t bytes,
                         std::function<void(TimeUs)> on_arrival) {
   const TimeUs now = sim_.now();

@@ -73,6 +73,12 @@ class FifoUplink {
   /// at the receiver. FIFO order is preserved. Returns the arrival time.
   TimeUs send(std::size_t bytes, std::function<void(TimeUs)> on_arrival);
 
+  /// Blocks the uplink until now + `duration` (fault injection: a link
+  /// partition with a known recovery point). Messages sent during the
+  /// window queue behind it and flood out in FIFO order at recovery,
+  /// exactly like a natural outage. Draws no randomness.
+  void inject_outage(DurationUs duration);
+
   const Params& params() const noexcept { return params_; }
 
  private:

@@ -1,0 +1,283 @@
+// Resilience-subsystem acceptance tests (ctest label: resilience).
+//
+// Three contracts are pinned here:
+//  1. No-fault parity: with an empty FaultSchedule the fault machinery is
+//     fully inert — the §5.2/§6 experiment pipelines produce bit-identical
+//     output at threads 1 and 8, and a session reports zero fault
+//     activity.
+//  2. Thread determinism: a fixed-seed resilience run with a non-empty
+//     randomized schedule is byte-identical at threads {1, 2, 8}.
+//  3. Failover accounting: an ingest crash mid-broadcast migrates every
+//     RTMP viewer onto the HLS/W2F path instead of dropping them, and the
+//     latency ledger matches the migration count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "livesim/analysis/resilience.h"
+#include "livesim/core/broadcast_session.h"
+#include "livesim/sim/parallel.h"
+
+namespace {
+using namespace livesim;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t mix_double(std::uint64_t h, double x) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return mix(h, bits);
+}
+
+std::uint64_t fingerprint(const stats::Sampler& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (double x : s.samples()) h = mix_double(h, x);
+  return h;
+}
+
+std::uint64_t fingerprint(const analysis::ResilienceStats& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, fingerprint(r.stall_ratio));
+  h = mix(h, fingerprint(r.rebuffer_count));
+  h = mix(h, fingerprint(r.failover_latency_s));
+  h = mix(h, r.counters.viewers);
+  h = mix(h, r.counters.faults_injected);
+  h = mix(h, r.counters.ingest_crashes);
+  h = mix(h, r.counters.failovers);
+  h = mix(h, r.counters.unrecoverable);
+  h = mix(h, r.counters.chunk_refetches);
+  return h;
+}
+
+std::vector<analysis::BroadcastTrace> small_trace_set(unsigned threads) {
+  analysis::TraceSetConfig cfg;
+  cfg.broadcasts = 120;
+  cfg.broadcast_len = time::kMinute;
+  cfg.seed = 11;
+  cfg.threads = threads;
+  return analysis::generate_traces(cfg);
+}
+
+// --- 1. No-fault parity ----------------------------------------------
+
+TEST(NoFaultParity, PollingPipelineIdenticalAtThreads1And8) {
+  const auto t1 = small_trace_set(1);
+  const auto t8 = small_trace_set(8);
+  const auto p1 = analysis::polling_experiment(t1, 3 * time::kSecond,
+                                               300 * time::kMillisecond, 5, 1);
+  const auto p8 = analysis::polling_experiment(t8, 3 * time::kSecond,
+                                               300 * time::kMillisecond, 5, 8);
+  EXPECT_EQ(fingerprint(p1.per_broadcast_mean_s),
+            fingerprint(p8.per_broadcast_mean_s));
+  EXPECT_EQ(fingerprint(p1.per_broadcast_std_s),
+            fingerprint(p8.per_broadcast_std_s));
+}
+
+TEST(NoFaultParity, BufferingPipelineIdenticalAtThreads1And8) {
+  const auto t1 = small_trace_set(1);
+  const auto t8 = small_trace_set(8);
+  const auto b1 =
+      analysis::rtmp_buffering_experiment(t1, time::kSecond, 5, 1);
+  const auto b8 =
+      analysis::rtmp_buffering_experiment(t8, time::kSecond, 5, 8);
+  EXPECT_EQ(fingerprint(b1.stall_ratio), fingerprint(b8.stall_ratio));
+  EXPECT_EQ(fingerprint(b1.mean_delay_s), fingerprint(b8.mean_delay_s));
+}
+
+TEST(NoFaultParity, ZeroFaultRateIsInertInResilienceRun) {
+  const auto traces = small_trace_set(1);
+  analysis::ResilienceConfig cfg;  // faults_per_minute defaults to 0
+  cfg.seed = 3;
+  const auto r = analysis::resilience_experiment(traces, cfg);
+  EXPECT_EQ(r.counters.viewers, traces.size());
+  EXPECT_EQ(r.counters.faults_injected, 0u);
+  EXPECT_EQ(r.counters.ingest_crashes, 0u);
+  EXPECT_EQ(r.counters.failovers, 0u);
+  EXPECT_EQ(r.counters.unrecoverable, 0u);
+  EXPECT_EQ(r.counters.chunk_refetches, 0u);
+  EXPECT_TRUE(r.failover_latency_s.empty());
+  // Every viewer played the whole broadcast over RTMP.
+  EXPECT_LT(r.stall_ratio.quantile(0.5), 0.05);
+}
+
+TEST(NoFaultParity, SessionWithEmptyScheduleReportsNoFaultActivity) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 20 * time::kSecond;
+  cfg.rtmp_viewers = 2;
+  cfg.hls_viewers = 2;
+  cfg.seed = 9;
+  ASSERT_TRUE(cfg.faults.empty());  // the default is faults-disabled
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+  EXPECT_EQ(session.faults_injected(), 0u);
+  EXPECT_EQ(session.rtmp_failovers(), 0u);
+  EXPECT_EQ(session.corrupted_downloads(), 0u);
+  EXPECT_TRUE(session.failover_latency_s().empty());
+  for (const auto& v : session.viewer_results())
+    EXPECT_GT(v.units_played, 0u);
+}
+
+// --- 2. Thread determinism -------------------------------------------
+
+TEST(ResilienceDeterminism, ByteIdenticalAtThreads128) {
+  const auto traces = small_trace_set(1);
+  analysis::ResilienceConfig cfg;
+  cfg.faults.faults_per_minute = 2.0;
+  cfg.seed = 77;
+
+  cfg.threads = 1;
+  const auto r1 = analysis::resilience_experiment(traces, cfg);
+  ASSERT_GT(r1.counters.faults_injected, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const auto rn = analysis::resilience_experiment(traces, cfg);
+    EXPECT_EQ(fingerprint(r1), fingerprint(rn))
+        << "resilience run diverged at threads=" << threads;
+  }
+}
+
+TEST(ResilienceDeterminism, SeedChangesResults) {
+  const auto traces = small_trace_set(1);
+  analysis::ResilienceConfig cfg;
+  cfg.faults.faults_per_minute = 2.0;
+  cfg.seed = 77;
+  const auto a = analysis::resilience_experiment(traces, cfg);
+  cfg.seed = 78;
+  const auto b = analysis::resilience_experiment(traces, cfg);
+  EXPECT_NE(fingerprint(a), fingerprint(b));
+}
+
+TEST(ResilienceDeterminism, FaultySessionIsReproducible) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  auto run = [&] {
+    sim::Simulator sim;
+    core::SessionConfig cfg;
+    cfg.broadcast_len = 40 * time::kSecond;
+    cfg.rtmp_viewers = 3;
+    cfg.hls_viewers = 1;
+    cfg.seed = 13;
+    cfg.faults.add({15 * time::kSecond, fault::FaultKind::kIngestCrash,
+                    8 * time::kSecond});
+    cfg.faults.add({25 * time::kSecond, fault::FaultKind::kEdgeCacheFlush, 0});
+    core::BroadcastSession session(sim, catalog, cfg);
+    session.start();
+    sim.run();
+    session.finalize();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : session.viewer_results()) {
+      h = mix(h, v.hls ? 1 : 0);
+      h = mix_double(h, v.stall_ratio);
+      h = mix_double(h, v.mean_buffering_s);
+      h = mix(h, v.units_played);
+    }
+    h = mix(h, session.rtmp_failovers());
+    h = mix_double(h, session.failover_latency_s().mean());
+    return h;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- 3. Failover accounting ------------------------------------------
+
+TEST(Failover, IngestCrashMigratesEveryRtmpViewerViaW2f) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 3;
+  cfg.hls_viewers = 1;
+  cfg.seed = 4;
+  cfg.faults.add({20 * time::kSecond, fault::FaultKind::kIngestCrash,
+                  10 * time::kSecond});
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  EXPECT_EQ(session.faults_injected(), 1u);
+  EXPECT_EQ(session.rtmp_failovers(), cfg.rtmp_viewers);
+  // One latency sample per migration, measured crash -> first HLS chunk,
+  // so it is at least the detect timeout.
+  ASSERT_EQ(session.failover_latency_s().count(), cfg.rtmp_viewers);
+  EXPECT_GE(session.failover_latency_s().min(),
+            time::to_seconds(cfg.failover_detect_timeout));
+
+  // Every viewer ends on the HLS path and kept playing after the crash.
+  std::size_t on_hls = 0;
+  for (const auto& v : session.viewer_results()) {
+    if (v.hls) ++on_hls;
+    EXPECT_GT(v.units_played, 0u);
+  }
+  EXPECT_EQ(on_hls, session.viewer_count());
+}
+
+TEST(Failover, MigratedViewersKeepPlayingAfterTheCrash) {
+  // Crash at t=15s (5 s down) in a 60 s broadcast. Without failover the
+  // RTMP viewers would freeze at the crash point; with it, each migrated
+  // viewer's post-migration HLS schedule must receive and smoothly play
+  // most of the post-restart media (~40 s of it).
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 2;
+  cfg.hls_viewers = 0;
+  cfg.seed = 21;
+  cfg.faults.add({15 * time::kSecond, fault::FaultKind::kIngestCrash,
+                  5 * time::kSecond});
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  ASSERT_EQ(session.rtmp_failovers(), 2u);
+  for (std::size_t i = 0; i < session.viewer_count(); ++i) {
+    // viewer_playback is the live schedule — post-migration, the fresh
+    // HLS one. It re-anchored (started) and got the rest of the stream.
+    const auto& pb = session.viewer_playback(i);
+    EXPECT_TRUE(pb.started());
+    EXPECT_GE(pb.media_offered(), 30 * time::kSecond);
+    EXPECT_EQ(pb.units_discarded(), 0u);
+  }
+  // Merged (RTMP phase + HLS phase) per-viewer results barely stall.
+  for (const auto& v : session.viewer_results()) {
+    EXPECT_TRUE(v.hls);
+    EXPECT_LT(v.stall_ratio, 0.2);
+  }
+}
+
+TEST(Failover, CorruptionWindowCountsDiscardedDownloads) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 3;
+  cfg.seed = 8;
+  fault::FaultEvent corrupt;
+  corrupt.at = 10 * time::kSecond;
+  corrupt.kind = fault::FaultKind::kChunkCorruption;
+  corrupt.duration = 40 * time::kSecond;
+  corrupt.magnitude = 1.0;  // every download in the window corrupts
+  cfg.faults.add(corrupt);
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+  EXPECT_GT(session.corrupted_downloads(), 0u);
+  // Corruption discards downloads but viewers still re-poll and play.
+  for (const auto& v : session.viewer_results())
+    EXPECT_GT(v.units_played, 0u);
+}
+
+}  // namespace
