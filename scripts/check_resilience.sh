@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Resilience smoke check: builds the fault-injection subsystem's test and
 # bench targets, runs the `resilience`-labelled ctest suite, then runs a
-# small fault sweep and asserts the two printed contracts:
+# small fault sweep plus a regional-outage sweep and asserts the printed
+# contracts:
 #   * the no-fault baseline fingerprint (zero fault rate => zero faults,
-#     failovers, unrecoverable viewers, and re-fetches), and
-#   * thread-count determinism ("identical: yes" for threads 1/2/8).
+#     failovers, unrecoverable viewers, and re-fetches),
+#   * thread-count determinism ("identical: yes" for threads 1/2/8) for
+#     both the randomized sweep and the regional-outage sweep, and
+#   * the zero-radius contract: a single dead edge PoP re-anycasts 100%
+#     of its viewers (failovers == affected) with zero orphans.
 #
 #   ./scripts/check_resilience.sh [build-dir]    # default: build
 #
@@ -22,6 +26,7 @@ fail() {
 cmake -B "$BUILD" -S . || fail "configure did not succeed"
 cmake --build "$BUILD" -j \
       --target livesim_resilience_tests bench_resilience_fault_sweep \
+               bench_resilience_regional_outage \
   || fail "build did not succeed"
 
 ctest --test-dir "$BUILD" -L resilience --output-on-failure \
@@ -42,4 +47,20 @@ done
 echo "$OUT" | grep -q "all checks passed" \
   || fail "session-level ingest-crash failover demo did not pass"
 
-echo "resilience check passed: no-fault baseline inert, results thread-deterministic, failover functional."
+# --- regional-outage bench: correlated blackouts + edge-to-edge failover
+ROUT="$("$BUILD"/bench/bench_resilience_regional_outage 160)" \
+  || fail "bench_resilience_regional_outage exited non-zero"
+
+echo "$ROUT" | grep -Eq \
+  "zero-radius contract: dark_edges=1 affected=([0-9]+) failovers=\1 orphaned=0" \
+  || fail "zero-radius contract violated (a single dead PoP must re-anycast every viewer, zero orphans)"
+
+for t in 1 2 8; do
+  echo "$ROUT" | grep -q "threads=$t .*identical: yes" \
+    || fail "regional-outage results not bit-identical at threads=$t"
+done
+
+echo "$ROUT" | grep -q "all checks passed" \
+  || fail "edge-to-edge failover / service scenario-injection demo did not pass"
+
+echo "resilience check passed: no-fault baseline inert, results thread-deterministic, failover (ingest and edge-to-edge) functional."

@@ -36,10 +36,11 @@ TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*' \
   || fail "data race or test failure in the parallel runner / simulator suites"
 
-# The resilience experiment shards fault-injected broadcasts over the same
-# pool; its determinism tests double as a race detector for the fault path.
+# The resilience experiments (randomized sweep AND the regional-outage
+# sweep) shard fault-injected broadcasts over the same pool; their
+# determinism tests double as a race detector for the fault path.
 TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
-  "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*' \
+  "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*:RegionalDeterminism*:ScenarioExpansion*' \
   || fail "data race or test failure in the resilience determinism suites"
 
 echo "TSan check passed: no data races in the parallel runner, simulator, or resilience experiment."

@@ -205,6 +205,159 @@ void simulate_viewer(const BroadcastTrace& trace, const ResilienceConfig& cfg,
 
 }  // namespace
 
+namespace {
+
+// One HLS viewer under a regional blackout. `dark` is the shared outage
+// membership (sorted edge-site ids); all randomness comes from `rng`, the
+// caller's per-trace substream.
+void simulate_regional_viewer(const BroadcastTrace& trace,
+                              const geo::DatacenterCatalog& catalog,
+                              const RegionalOutageConfig& cfg,
+                              const std::vector<std::uint64_t>& dark,
+                              geo::UserGeoSampler& sampler, Rng& rng,
+                              RegionalOutageStats& out) {
+  const DurationUs total_media =
+      static_cast<DurationUs>(trace.frame_arrivals.size()) *
+      trace.frame_interval;
+  if (total_media <= 0) return;
+  out.counters.viewers += 1;
+
+  const geo::GeoPoint loc = sampler.sample(rng);
+  std::uint64_t attachment =
+      catalog.nearest(loc, geo::CdnRole::kEdge).id.value;
+  const bool dark_member =
+      std::binary_search(dark.begin(), dark.end(), attachment);
+
+  // Chunk availability at the viewer's edge: sealed at the ingest plus a
+  // jittered W2F pull (drawn per chunk so substreams stay per-viewer).
+  const std::size_t n_chunks = trace.chunks.size();
+  std::vector<TimeUs> avail(n_chunks);
+  for (std::size_t j = 0; j < n_chunks; ++j) {
+    const auto w2f = static_cast<DurationUs>(
+        static_cast<double>(cfg.w2f_offset) *
+        (1.0 + 0.35 * std::abs(rng.normal(0.0, 1.0))));
+    avail[j] = trace.chunks[j].completed_at_ingest + w2f;
+  }
+
+  client::AdaptivePlayback playback(cfg.playback);
+  const TimeUs outage_end = cfg.outage_at + cfg.outage_duration;
+  const TimeUs wall_horizon =
+      (n_chunks ? avail[n_chunks - 1] : 0) + 8 * cfg.poll_interval +
+      cfg.outage_duration;
+
+  // Random poll phase: unsynchronized with chunk seals (§5.2).
+  TimeUs poll_t = static_cast<TimeUs>(
+      rng.uniform() * static_cast<double>(cfg.poll_interval));
+  std::size_t cursor = 0;
+  bool migrated = false;
+  bool awaiting_first = false;  // failover done, first chunk not yet seen
+  DurationUs cold_penalty = 0;  // new edge's cache is empty
+
+  while (cursor < n_chunks && poll_t <= wall_horizon) {
+    if (!migrated && dark_member && poll_t >= cfg.outage_at &&
+        poll_t < outage_end) {
+      // The poll vanished into a dead PoP. After the detect window the
+      // client re-anycasts to the nearest edge outside the dark set.
+      out.counters.affected += 1;
+      const geo::Datacenter* live = nullptr;
+      double best_km = std::numeric_limits<double>::infinity();
+      for (const auto& dc : catalog.all()) {
+        if (dc.role != geo::CdnRole::kEdge) continue;
+        if (std::binary_search(dark.begin(), dark.end(), dc.id.value))
+          continue;
+        const double km = geo::haversine_km(loc, dc.location);
+        if (km < best_km) {
+          best_km = km;
+          live = &dc;
+        }
+      }
+      if (live == nullptr) {
+        out.counters.orphaned += 1;
+        break;  // playback froze; the missing tail scores as stall below
+      }
+      out.counters.failovers += 1;
+      migrated = true;
+      awaiting_first = true;
+      attachment = live->id.value;
+      cold_penalty = cfg.w2f_offset;  // first fetch re-pulls the origin
+      poll_t += cfg.detect_timeout;   // client polls right after re-anycast
+      continue;
+    }
+
+    if (avail[cursor] <= poll_t) {
+      const TimeUs recv = poll_t + cold_penalty + kHlsDownload;
+      cold_penalty = 0;
+      if (awaiting_first) {
+        // Edge death -> first chunk via the new edge: detection, the
+        // re-anycast, the cold origin pull, and the re-anchored download
+        // (the second pipeline flush) are all inside this number.
+        out.failover_latency_s.add(time::to_seconds(recv - cfg.outage_at));
+        awaiting_first = false;
+      }
+      while (cursor < n_chunks && avail[cursor] <= poll_t) {
+        const auto& c = trace.chunks[cursor];
+        playback.on_arrival(recv, c.media_start, c.duration);
+        ++cursor;
+      }
+    }
+    poll_t += cfg.poll_interval;
+  }
+
+  // Score exactly like resilience_experiment: stalls on offered media
+  // plus everything that never arrived, over the broadcast's total media.
+  const DurationUs offered = std::min(playback.media_offered(), total_media);
+  const double offered_stall =
+      playback.stall_ratio() * static_cast<double>(playback.media_offered());
+  const double missing = static_cast<double>(total_media - offered);
+  out.stall_ratio.add(std::min(
+      1.0, (offered_stall + missing) / static_cast<double>(total_media)));
+}
+
+}  // namespace
+
+RegionalOutageStats regional_resilience_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog,
+    const RegionalOutageConfig& config) {
+  // The dark set is shared state: one blackout, computed once, sorted so
+  // membership tests are deterministic binary searches.
+  fault::RegionalBlackoutSpec spec;
+  spec.at = config.outage_at;
+  spec.duration = config.outage_duration;
+  spec.center = config.center;
+  spec.radius_km = config.radius_km;
+  std::vector<std::uint64_t> dark;
+  for (DatacenterId site : fault::FaultScenario::blackout_sites(catalog, spec))
+    dark.push_back(site.value);
+  std::sort(dark.begin(), dark.end());
+
+  const auto ranges = sim::shard_ranges(
+      traces.size(), sim::resolve_threads(config.threads));
+  std::vector<RegionalOutageStats> parts(ranges.size());
+  sim::parallel_for_shards(
+      traces.size(), config.threads,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        geo::UserGeoSampler sampler;
+        for (std::size_t i = begin; i < end; ++i) {
+          // One substream per trace: every viewer of broadcast i draws
+          // from it in a fixed order, so shard boundaries are invisible.
+          Rng rng(sim::substream_seed(config.seed, i));
+          for (std::uint32_t v = 0; v < config.viewers_per_broadcast; ++v)
+            simulate_regional_viewer(traces[i], catalog, config, dark,
+                                     sampler, rng, parts[shard]);
+        }
+      });
+
+  RegionalOutageStats out;
+  out.dark_edges = dark.size();
+  for (const auto& p : parts) {
+    out.stall_ratio.merge(p.stall_ratio);
+    out.failover_latency_s.merge(p.failover_latency_s);
+    out.counters.merge(p.counters);
+  }
+  return out;
+}
+
 ResilienceStats resilience_experiment(
     const std::vector<BroadcastTrace>& traces,
     const ResilienceConfig& config) {

@@ -24,6 +24,8 @@
 #include "livesim/client/adaptive.h"
 #include "livesim/client/retry.h"
 #include "livesim/fault/fault.h"
+#include "livesim/fault/scenario.h"
+#include "livesim/geo/datacenters.h"
 #include "livesim/stats/sampler.h"
 #include "livesim/util/time.h"
 
@@ -83,6 +85,72 @@ struct ResilienceStats {
 /// (config.seed) at every thread count.
 ResilienceStats resilience_experiment(
     const std::vector<BroadcastTrace>& traces, const ResilienceConfig& config);
+
+// ---------------------------------------------------------------------
+// Regional-outage experiment: a correlated blackout hits every edge PoP
+// within a radius, and the attached HLS viewers must detect the silent
+// edge (failed poll + detect timeout), re-anycast to the nearest edge
+// still alive, and re-fill their pipeline through a cold cache — the
+// second pipeline flush. Viewers with no live edge left are orphaned and
+// score the entire missing tail as stall.
+
+struct RegionalOutageConfig {
+  /// Blackout geometry (fault::RegionalBlackoutSpec semantics: the
+  /// nearest edge is always dark, radius 0 kills exactly one PoP).
+  geo::GeoPoint center{50.11, 8.68};  // Frankfurt
+  double radius_km = 0.0;
+  TimeUs outage_at = 30 * time::kSecond;
+  DurationUs outage_duration = 30 * time::kSecond;
+
+  /// HLS viewers sampled per broadcast (global user distribution).
+  std::uint32_t viewers_per_broadcast = 4;
+  DurationUs poll_interval = time::from_seconds(2.8);
+  /// Silent-edge detection: first dead poll -> re-anycast decision.
+  DurationUs detect_timeout = 2 * time::kSecond;
+  /// Mean ingest->edge pull latency; also the cold-cache penalty the
+  /// first post-failover poll pays at the new edge.
+  DurationUs w2f_offset = 300 * time::kMillisecond;
+  client::AdaptivePlayback::Params playback{};
+  std::uint64_t seed = 1;
+  unsigned threads = 1;  // 0 = all hardware threads
+};
+
+/// Additive per-shard counters (merge order never matters).
+struct RegionalOutageCounters {
+  std::uint64_t viewers = 0;
+  /// Viewers whose attached edge went dark under them mid-polling.
+  std::uint64_t affected = 0;
+  /// Affected viewers successfully re-anycast to a live edge.
+  std::uint64_t failovers = 0;
+  /// Affected viewers with no live edge left (footprint-wide blackout).
+  std::uint64_t orphaned = 0;
+
+  void merge(const RegionalOutageCounters& o) noexcept {
+    viewers += o.viewers;
+    affected += o.affected;
+    failovers += o.failovers;
+    orphaned += o.orphaned;
+  }
+};
+
+struct RegionalOutageStats {
+  /// Per viewer: stalled + never-delivered media over total media.
+  stats::Sampler stall_ratio;
+  /// Per failover: edge death -> first chunk on screen via the new edge
+  /// (detection + re-anycast + cold fetch + download), seconds.
+  stats::Sampler failover_latency_s;
+  RegionalOutageCounters counters;
+  /// Edge sites the blackout darkened (from the scenario, not merged).
+  std::size_t dark_edges = 0;
+};
+
+/// Replays each trace through `viewers_per_broadcast` HLS viewers under
+/// one shared regional blackout. Deterministic in (config.seed) at every
+/// thread count: each trace draws from its own substream, and the dark
+/// set is computed once from (catalog, center, radius).
+RegionalOutageStats regional_resilience_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog, const RegionalOutageConfig& config);
 
 }  // namespace livesim::analysis
 

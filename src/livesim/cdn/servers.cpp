@@ -52,6 +52,12 @@ void EdgeServer::respond(std::int64_t client_last_seq,
 }
 
 void EdgeServer::on_poll(std::int64_t client_last_seq, PollCallback cb) {
+  if (down_) {
+    // Dead PoP: the request vanishes. No response ever fires; the client
+    // times out, which is what drives edge-to-edge failover detection.
+    ++polls_dropped_;
+    return;
+  }
   ++polls_;
   cpu_.charge_poll();
   if (cached_seq_ >= known_latest_seq_) {
@@ -68,6 +74,12 @@ void EdgeServer::start_fetch(std::uint32_t attempt) {
   fetching_ = true;
   ++fetches_;
   fetch_([this, attempt](FetchResult result) {
+    if (down_) {
+      // The PoP died while the pull was in flight; the response lands on
+      // a dead box. Waiters were already abandoned by set_down().
+      fetching_ = false;
+      return;
+    }
     if (!result) {
       ++fetch_failures_;
       if (attempt < max_attempts_) {

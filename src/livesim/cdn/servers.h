@@ -141,6 +141,24 @@ class EdgeServer {
   }
   std::uint64_t cache_flushes() const noexcept { return cache_flushes_; }
 
+  /// Fault injection: the PoP dies (power event, regional blackout).
+  /// While down the server is a dead socket — polls are dropped without a
+  /// response (counted) and pending waiters are abandoned; clients detect
+  /// the silence and re-anycast elsewhere. Going down wipes the cache
+  /// (the node lost its RAM), so a revived edge re-pulls from the origin.
+  void set_down(bool down) noexcept {
+    if (down && !down_) {
+      flush_cache();
+      --cache_flushes_;  // a death is not a flush event in the ledger
+      polls_dropped_ += waiters_.size();
+      waiters_.clear();
+    }
+    down_ = down;
+  }
+  bool down() const noexcept { return down_; }
+  /// Polls that hit a dead PoP and got no response at all.
+  std::uint64_t polls_dropped() const noexcept { return polls_dropped_; }
+
  private:
   struct Waiter {
     std::int64_t last_seq;
@@ -160,8 +178,10 @@ class EdgeServer {
   std::int64_t cached_seq_ = -1;
   std::int64_t known_latest_seq_ = -1;
   bool fetching_ = false;
+  bool down_ = false;
   std::vector<Waiter> waiters_;
   std::uint64_t polls_ = 0;
+  std::uint64_t polls_dropped_ = 0;
   std::uint64_t fetches_ = 0;
   std::uint64_t fetch_failures_ = 0;
   std::uint64_t cache_flushes_ = 0;

@@ -1,5 +1,7 @@
 #include "livesim/core/broadcast_session.h"
 
+#include <algorithm>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -156,34 +158,66 @@ void BroadcastSession::arm_faults() {
   // Empty schedule: no injector, no extra RNG draws, no event-queue
   // traffic -- the session is bit-identical to the pre-fault code.
   if (config_.faults.empty()) return;
-  injector_ = std::make_unique<fault::FaultInjector>(sim_, config_.faults);
-  injector_->on(fault::FaultKind::kIngestCrash,
-                [this](const fault::FaultEvent& e) { on_ingest_crash(e); });
-  injector_->on(fault::FaultKind::kEdgeCacheFlush,
-                [this](const fault::FaultEvent& e) {
-                  for (auto& [site, edge] : edges_)
-                    if (e.target == 0 || e.target == site) edge->flush_cache();
-                });
-  injector_->on(fault::FaultKind::kLinkDegrade,
-                [this](const fault::FaultEvent& e) {
-                  // Partition on the broadcaster's last mile: frames queue
-                  // and flood out at recovery (the Fig 16b mechanism).
-                  uplink_->inject_outage(e.duration);
-                });
-  injector_->on(fault::FaultKind::kChunkCorruption,
-                [this](const fault::FaultEvent& e) {
-                  const TimeUs until = sim_.now() + e.duration;
-                  if (until > corruption_until_) corruption_until_ = until;
-                  corruption_prob_ = e.magnitude > 0.0 ? e.magnitude : 0.5;
-                });
-  injector_->arm();
+  auto injector = std::make_unique<fault::FaultInjector>(sim_, config_.faults);
+  register_fault_handlers(*injector);
+  injector->arm();
+  injectors_.push_back(std::move(injector));
+}
+
+void BroadcastSession::inject_faults(const fault::FaultSchedule& schedule) {
+  if (schedule.empty()) return;
+  auto injector = std::make_unique<fault::FaultInjector>(sim_, schedule);
+  register_fault_handlers(*injector);
+  injector->arm();  // event times land at now + e.at
+  injectors_.push_back(std::move(injector));
+}
+
+void BroadcastSession::register_fault_handlers(
+    fault::FaultInjector& injector) {
+  injector.on(fault::FaultKind::kIngestCrash,
+              [this](const fault::FaultEvent& e) { on_ingest_crash(e); });
+  injector.on(fault::FaultKind::kEdgeCacheFlush,
+              [this](const fault::FaultEvent& e) {
+                for (auto& [site, edge] : edges_)
+                  if (e.target == 0 || e.target == site) edge->flush_cache();
+              });
+  injector.on(fault::FaultKind::kLinkDegrade,
+              [this](const fault::FaultEvent& e) {
+                // Partition on the broadcaster's last mile: frames queue
+                // and flood out at recovery (the Fig 16b mechanism).
+                uplink_->inject_outage(e.duration);
+              });
+  injector.on(fault::FaultKind::kChunkCorruption,
+              [this](const fault::FaultEvent& e) {
+                const TimeUs until = sim_.now() + e.duration;
+                if (until > corruption_until_) corruption_until_ = until;
+                corruption_prob_ = e.magnitude > 0.0 ? e.magnitude : 0.5;
+              });
+  injector.on(fault::FaultKind::kEdgeDown,
+              [this](const fault::FaultEvent& e) { on_edge_down(e); });
 }
 
 void BroadcastSession::on_ingest_crash(const fault::FaultEvent& e) {
+  // Scenario-expanded events target concrete sites; a crash somewhere
+  // else in the footprint is not this broadcast's ingest dying.
+  if (e.target != 0 && e.target != ingest_site_.value) return;
   ingest_->set_down(true);
   const TimeUs crashed_at = sim_.now();
-  if (e.duration > 0)
-    sim_.schedule_in(e.duration, [this] { ingest_->set_down(false); });
+  if (e.duration > 0) {
+    sim_.schedule_in(e.duration, [this] {
+      ingest_->set_down(false);
+      if (!config_.rtmp_rejoin_after_restart) return;
+      // The app announces the restarted ingest; migrated viewers tear
+      // down HLS and re-attach to the low-delay path (second flush).
+      sim_.schedule_in(config_.rtmp_rejoin_delay, [this] {
+        for (auto& vp : viewers_) {
+          Viewer& v = *vp;
+          if (!v.active || v.orphaned || !v.hls || !v.was_rtmp) continue;
+          rejoin_rtmp_viewer(v);
+        }
+      });
+    });
+  }
 
   // RTMP clients notice the dead connection after the socket timeout and
   // fail over to HLS: re-attach to the nearest edge, which pulls from the
@@ -197,11 +231,72 @@ void BroadcastSession::on_ingest_crash(const fault::FaultEvent& e) {
   });
 }
 
+void BroadcastSession::on_edge_down(const fault::FaultEvent& e) {
+  const TimeUs now = sim_.now();
+  const TimeUs until = now + e.duration;
+
+  // Membership is decided at the event: target 0 = every edge this
+  // session instantiated (a blanket outage), otherwise one catalog site
+  // -- which may have no EdgeServer object yet and still must be dark to
+  // re-anycast decisions.
+  std::vector<std::uint64_t> dark;
+  if (e.target == 0) {
+    dark.reserve(edges_.size());
+    for (auto& [site, edge] : edges_) dark.push_back(site);
+  } else {
+    dark.push_back(e.target);
+  }
+
+  for (std::uint64_t site : dark) {
+    auto& horizon = edge_down_until_[site];
+    if (until > horizon) horizon = until;
+    if (auto it = edges_.find(site); it != edges_.end())
+      it->second->set_down(true);
+    if (e.duration > 0) {
+      sim_.schedule_in(e.duration, [this, site] {
+        // Revive unless a later event extended this site's outage.
+        if (edge_site_down(site, sim_.now())) return;
+        if (auto it = edges_.find(site); it != edges_.end())
+          it->second->set_down(false);
+      });
+    }
+  }
+
+  // Attached viewers time out after the detect window, then re-anycast
+  // to the nearest edge still alive at detection time.
+  sim_.schedule_in(config_.failover_detect_timeout,
+                   [this, now, dark = std::move(dark)] {
+    for (auto& vp : viewers_) {
+      Viewer& v = *vp;
+      if (!v.active || !v.hls || v.orphaned) continue;
+      const bool hit = std::find(dark.begin(), dark.end(),
+                                 v.attachment.value) != dark.end();
+      if (hit) migrate_hls_viewer(v, now);
+    }
+  });
+}
+
 void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
+  // Kill the old pipeline first so in-flight deliveries are dropped.
+  ++v.generation;
+  if (v.poll_process) v.poll_process->stop();
+  v.poll_outstanding = false;
   v.hls = true;
+
+  // Anycast only lands on a live PoP: a regional event that took the
+  // ingest AND its co-located edge dark must not migrate viewers onto
+  // another dead box.
+  const geo::Datacenter* live = nearest_live_edge(v.location, sim_.now());
+  if (live == nullptr) {
+    v.orphaned = true;
+    ++orphaned_viewers_;
+    return;  // playback freezes; result scoring charges the missing tail
+  }
+
   ++rtmp_failovers_;
   v.failover_crash_at = crashed_at;
-  v.attachment = catalog_.nearest(v.location, geo::CdnRole::kEdge).id;
+  v.failover_from_edge = false;
+  v.attachment = live->id;
 
   // Rebuild the last mile toward the edge (different distance).
   auto link_params = config_.viewer_last_mile;
@@ -213,7 +308,7 @@ void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
   // The client tears down its RTMP pipeline and re-buffers on HLS: the
   // playback schedule re-anchors at the HLS pre-buffer, otherwise every
   // post-crash chunk would miss its (pre-crash) slot and be discarded.
-  v.prior_playback = std::move(v.playback);
+  v.retired.push_back({std::move(v.playback), /*hls=*/false});
   v.playback =
       std::make_unique<client::PlaybackSchedule>(config_.hls_prebuffer);
 
@@ -227,15 +322,104 @@ void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
   start_hls_polling(v);
 }
 
+void BroadcastSession::migrate_hls_viewer(Viewer& v, TimeUs died_at) {
+  // Edge-to-edge failover: the viewer's PoP died; anycast re-routes them
+  // to the next-nearest live edge. The client flushes its pipeline a
+  // second time (new pre-buffer), and the cold path to the new edge
+  // shows up as the re-anchored first-chunk latency.
+  ++v.generation;  // drop responses in flight from the dead attachment
+  if (v.poll_process) v.poll_process->stop();
+  v.poll_outstanding = false;
+
+  const geo::Datacenter* live = nearest_live_edge(v.location, sim_.now());
+  if (live == nullptr) {
+    v.orphaned = true;
+    ++orphaned_viewers_;
+    return;
+  }
+
+  ++edge_failovers_;
+  v.failover_crash_at = died_at;
+  v.failover_from_edge = true;
+  v.attachment = live->id;
+
+  auto link_params = config_.viewer_last_mile;
+  const double km =
+      geo::haversine_km(v.location, catalog_.get(v.attachment).location);
+  link_params.base_delay += config_.latency.mean_delay(km);
+  v.link = std::make_unique<net::Link>(sim_, link_params, rng_.fork());
+
+  v.retired.push_back({std::move(v.playback), /*hls=*/true});
+  v.playback =
+      std::make_unique<client::PlaybackSchedule>(config_.hls_prebuffer);
+  // last_seq survives: the client still knows what it played; it asks the
+  // new edge only for fresher chunks.
+  start_hls_polling(v);
+}
+
+void BroadcastSession::rejoin_rtmp_viewer(Viewer& v) {
+  // The ROADMAP gap: migrated RTMP viewers used to stay on HLS forever.
+  // Re-attachment is the third pipeline state: tear down HLS polling,
+  // flush the pipeline again (the retired HLS phase keeps its stats), and
+  // resume on the persistent RTMP subscription, which delivers again as
+  // soon as v.hls is false.
+  ++v.generation;
+  if (v.poll_process) v.poll_process->stop();
+  v.poll_outstanding = false;
+  v.hls = false;
+  v.failover_crash_at = -1;  // any unfinished failover measurement is moot
+  v.attachment = ingest_site_;
+
+  auto link_params = config_.viewer_last_mile;
+  const double km =
+      geo::haversine_km(v.location, catalog_.get(ingest_site_).location);
+  link_params.base_delay += config_.latency.mean_delay(km);
+  v.link = std::make_unique<net::Link>(sim_, link_params, rng_.fork());
+
+  v.retired.push_back({std::move(v.playback), /*hls=*/true});
+  v.playback =
+      std::make_unique<client::PlaybackSchedule>(config_.rtmp_prebuffer);
+  ++rtmp_rejoins_;
+}
+
+bool BroadcastSession::edge_site_down(std::uint64_t site,
+                                      TimeUs now) const noexcept {
+  auto it = edge_down_until_.find(site);
+  return it != edge_down_until_.end() && now < it->second;
+}
+
+const geo::Datacenter* BroadcastSession::nearest_live_edge(
+    const geo::GeoPoint& p, TimeUs now) const {
+  const geo::Datacenter* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& dc : catalog_.all()) {
+    if (dc.role != geo::CdnRole::kEdge) continue;
+    if (edge_site_down(dc.id.value, now)) continue;
+    const double km = geo::haversine_km(p, dc.location);
+    if (km < best_km) {
+      best_km = km;
+      best = &dc;
+    }
+  }
+  return best;
+}
+
 std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
                                          bool hls) {
   auto v = std::make_unique<Viewer>();
   v->hls = hls;
+  v->was_rtmp = !hls;
   v->location = location;
 
   auto link_params = config_.viewer_last_mile;
   if (v->hls) {
-    v->attachment = catalog_.nearest(v->location, geo::CdnRole::kEdge).id;
+    // Anycast skips dark PoPs (a viewer joining mid-outage); with no
+    // outage this is exactly catalog_.nearest (same order, same
+    // tie-break), so fault-free runs are bit-identical.
+    const geo::Datacenter* live = nearest_live_edge(v->location, sim_.now());
+    v->attachment = live != nullptr
+                        ? live->id
+                        : catalog_.nearest(v->location, geo::CdnRole::kEdge).id;
   } else {
     // RTMP viewers always connect to the broadcaster's ingest site.
     v->attachment = ingest_site_;
@@ -298,7 +482,11 @@ void BroadcastSession::record_hls_chunk(Viewer& v, const media::Chunk& c,
   hls_.last_mile_s.add(time::to_seconds(download_delay));
   if (v.failover_crash_at >= 0) {
     // First post-failover chunk on screen: the migration is complete.
-    failover_latency_s_.add(time::to_seconds(recv_time - v.failover_crash_at));
+    // Edge-to-edge re-anycasts and RTMP->HLS migrations keep separate
+    // ledgers (different detection paths, different pre-buffer flushes).
+    auto& ledger =
+        v.failover_from_edge ? edge_failover_latency_s_ : failover_latency_s_;
+    ledger.add(time::to_seconds(recv_time - v.failover_crash_at));
     v.failover_crash_at = -1;
   }
   if (config_.record_journeys && &v == first_hls_viewer_) {
@@ -318,6 +506,11 @@ void BroadcastSession::start_hls_polling(Viewer& v) {
   auto* viewer = &v;
   auto& edge = edge_for(v.attachment);
   auto* eptr = &edge;
+  // Attachment epoch this polling loop belongs to. Every closure below
+  // checks it: after a migration the client closed this connection, so a
+  // response still in flight from the old edge must evaporate instead of
+  // landing in the new pipeline.
+  const std::uint64_t gen = v.generation;
 
   // Random poll phase: viewers are not synchronized with chunk arrivals,
   // which is exactly what makes the polling delay a uniform-ish draw over
@@ -329,7 +522,11 @@ void BroadcastSession::start_hls_polling(Viewer& v) {
 
   v.poll_process = std::make_unique<sim::PeriodicProcess>(
       sim_, phase, config_.hls_poll_interval,
-      [this, viewer, eptr](sim::PeriodicProcess& proc) {
+      [this, viewer, eptr, gen](sim::PeriodicProcess& proc) {
+        if (viewer->generation != gen) {
+          proc.stop();
+          return;
+        }
         if (sim_.now() >
             start_time_ + config_.broadcast_len + 20 * time::kSecond) {
           proc.stop();
@@ -338,18 +535,21 @@ void BroadcastSession::start_hls_polling(Viewer& v) {
         if (viewer->poll_outstanding) return;  // one request in flight
         viewer->poll_outstanding = true;
         const DurationUs req_d = viewer->link->sample_delay(kPollRequestBytes);
-        sim_.schedule_in(req_d, [this, viewer, eptr] {
+        sim_.schedule_in(req_d, [this, viewer, eptr, gen] {
+          if (viewer->generation != gen) return;
           const TimeUs poll_at_edge = sim_.now();
           eptr->on_poll(
               viewer->last_seq,
-              [this, viewer, poll_at_edge](TimeUs served_at,
-                                           std::vector<media::Chunk> fresh) {
+              [this, viewer, gen, poll_at_edge](
+                  TimeUs served_at, std::vector<media::Chunk> fresh) {
+                if (viewer->generation != gen) return;
                 std::uint64_t bytes = kPlaylistBytes;
                 for (const auto& c : fresh) bytes += c.size_bytes;
                 const DurationUs resp_d = viewer->link->sample_delay(bytes);
                 sim_.schedule_in(
-                    resp_d, [this, viewer, poll_at_edge, served_at, resp_d,
-                             fresh = std::move(fresh)] {
+                    resp_d, [this, viewer, gen, poll_at_edge, served_at,
+                             resp_d, fresh = std::move(fresh)] {
+                      if (viewer->generation != gen) return;
                       const TimeUs recv = served_at + resp_d;
                       // Injected corruption window: the download fails its
                       // integrity check and is discarded whole; the next
@@ -381,9 +581,11 @@ void BroadcastSession::finalize() {
   for (const auto& v : viewers_) {
     auto& breakdown = v->hls ? hls_ : rtmp_;
     breakdown.buffering_s.merge(v->playback->buffering_delay_s());
-    // A migrated viewer's retired schedule covers its RTMP phase.
-    if (v->prior_playback)
-      rtmp_.buffering_s.merge(v->prior_playback->buffering_delay_s());
+    // Each retired phase (a pipeline flush: RTMP->HLS, edge-to-edge,
+    // HLS->RTMP rejoin) folds into the breakdown of the path it covered.
+    for (const auto& phase : v->retired)
+      (phase.hls ? hls_ : rtmp_)
+          .buffering_s.merge(phase.playback->buffering_delay_s());
   }
 }
 
@@ -394,27 +596,31 @@ BroadcastSession::viewer_results() const {
   for (const auto& v : viewers_) {
     ViewerResult r;
     r.hls = v->hls;
+    r.orphaned = v->orphaned;
     r.location = v->location;
     r.attachment = v->attachment;
     r.stall_ratio = v->playback->stall_ratio();
     r.mean_buffering_s = v->playback->buffering_delay_s().mean();
     r.units_played = v->playback->units_played();
     r.units_discarded = v->playback->units_discarded();
-    if (v->prior_playback) {
-      // Fold the retired RTMP phase back in: stall weighted by each
-      // phase's offered media, buffering via accumulator merge.
-      const auto& prior = *v->prior_playback;
-      const double off_a = static_cast<double>(prior.media_offered());
-      const double off_b = static_cast<double>(v->playback->media_offered());
-      if (off_a + off_b > 0.0)
-        r.stall_ratio = (prior.stall_ratio() * off_a +
-                         v->playback->stall_ratio() * off_b) /
-                        (off_a + off_b);
-      stats::Accumulator merged = prior.buffering_delay_s();
-      merged.merge(v->playback->buffering_delay_s());
+    if (!v->retired.empty()) {
+      // Fold every retired phase back in: stall weighted by each phase's
+      // offered media, buffering via accumulator merge. (Skipped entirely
+      // for unmigrated viewers so fault-free results stay bit-identical.)
+      double weighted = v->playback->stall_ratio() *
+                        static_cast<double>(v->playback->media_offered());
+      double offered = static_cast<double>(v->playback->media_offered());
+      stats::Accumulator merged = v->playback->buffering_delay_s();
+      for (const auto& phase : v->retired) {
+        const auto& p = *phase.playback;
+        weighted += p.stall_ratio() * static_cast<double>(p.media_offered());
+        offered += static_cast<double>(p.media_offered());
+        merged.merge(p.buffering_delay_s());
+        r.units_played += p.units_played();
+        r.units_discarded += p.units_discarded();
+      }
+      if (offered > 0.0) r.stall_ratio = weighted / offered;
       r.mean_buffering_s = merged.mean();
-      r.units_played += prior.units_played();
-      r.units_discarded += prior.units_discarded();
     }
     out.push_back(r);
   }

@@ -69,10 +69,22 @@ struct SessionConfig {
   /// Fault script injected into this session (fault/fault.h). Empty (the
   /// default) means no injector is created and the session is bit-for-bit
   /// identical to the pre-fault behaviour. Times are relative to start().
+  /// Correlated scripts (regional blackouts, cascades, rolling waves) are
+  /// authored as a fault::FaultScenario and expanded into this same event
+  /// form — or injected live via inject_faults() /
+  /// LivestreamService::inject_scenario().
   fault::FaultSchedule faults{};
-  /// How long a dead RTMP connection goes unnoticed before the client
-  /// fails over to HLS (socket timeout + app reaction).
+  /// How long a dead connection (RTMP ingest or HLS edge) goes unnoticed
+  /// before the client fails over (socket timeout + app reaction).
   DurationUs failover_detect_timeout = 2 * time::kSecond;
+  /// When true, viewers that failed over from RTMP to HLS re-attach to
+  /// RTMP once the ingest restarts (after rtmp_rejoin_delay); the client
+  /// flushes its pipeline a second time, and that flush is accounted in
+  /// the RTMP delay breakdown. Off by default: the measured app never
+  /// returned migrated viewers to the low-delay path.
+  bool rtmp_rejoin_after_restart = false;
+  /// Restart -> the app learns the ingest is back and re-attaches.
+  DurationUs rtmp_rejoin_delay = 2 * time::kSecond;
 
   std::uint64_t seed = 1;
 };
@@ -81,6 +93,7 @@ class BroadcastSession {
  public:
   struct ViewerResult {
     bool hls = false;
+    bool orphaned = false;    // failover found no live edge to land on
     geo::GeoPoint location;
     DatacenterId attachment;  // ingest (RTMP) or edge (HLS) site
     double stall_ratio = 0.0;
@@ -133,19 +146,40 @@ class BroadcastSession {
   DatacenterId ingest_site() const noexcept { return ingest_site_; }
 
   // --- resilience ---
+  /// Injects an additional fault script into the RUNNING session (event
+  /// times relative to now). This is how LivestreamService shares one
+  /// expanded scenario across many concurrent broadcasts. An empty
+  /// schedule is a no-op (no injector, no RNG draws).
+  void inject_faults(const fault::FaultSchedule& schedule);
+
   /// RTMP viewers migrated to the HLS path after an ingest crash.
   std::uint64_t rtmp_failovers() const noexcept { return rtmp_failovers_; }
   /// Crash -> first HLS chunk on the migrated viewer's screen, seconds.
   const stats::Accumulator& failover_latency_s() const noexcept {
     return failover_latency_s_;
   }
+  /// HLS viewers re-anycast to another edge after their PoP died.
+  std::uint64_t edge_failovers() const noexcept { return edge_failovers_; }
+  /// Edge death -> first chunk on screen via the new edge, seconds
+  /// (detection + re-anycast + re-anchored first chunk: the second
+  /// pipeline flush is inside this number).
+  const stats::Accumulator& edge_failover_latency_s() const noexcept {
+    return edge_failover_latency_s_;
+  }
+  /// Viewers whose failover found no live edge at all (global blackout).
+  std::uint64_t orphaned_viewers() const noexcept { return orphaned_viewers_; }
+  /// Migrated RTMP viewers that re-attached to RTMP after the ingest
+  /// restarted (rtmp_rejoin_after_restart).
+  std::uint64_t rtmp_rejoins() const noexcept { return rtmp_rejoins_; }
   /// HLS downloads discarded as corrupt (client re-fetches on next poll).
   std::uint64_t corrupted_downloads() const noexcept {
     return corrupted_downloads_;
   }
-  /// Faults dispatched so far (0 when the schedule is empty).
+  /// Faults dispatched so far (0 when every schedule is empty).
   std::uint64_t faults_injected() const noexcept {
-    return injector_ ? injector_->injected() : 0;
+    std::uint64_t n = 0;
+    for (const auto& inj : injectors_) n += inj->injected();
+    return n;
   }
 
   /// Edge servers created by this session (keyed by datacenter id).
@@ -179,20 +213,34 @@ class BroadcastSession {
   struct Viewer {
     bool hls = false;
     bool active = true;
+    bool was_rtmp = false;  // joined on the RTMP path (rejoin candidate)
+    bool orphaned = false;  // failover found no live edge; playback froze
     geo::GeoPoint location;
     DatacenterId attachment{};
     std::unique_ptr<net::Link> link;
     std::unique_ptr<client::PlaybackSchedule> playback;
-    /// RTMP-phase schedule retired at failover: the client flushes its
-    /// pipeline and re-buffers on HLS, so `playback` is replaced and the
-    /// old one is kept for result accounting. Null unless migrated.
-    std::unique_ptr<client::PlaybackSchedule> prior_playback;
+    /// Schedules retired at each pipeline flush (RTMP->HLS failover,
+    /// edge-to-edge re-anycast, RTMP rejoin): `playback` is replaced and
+    /// the old phase is kept for result accounting, tagged with the path
+    /// it covered.
+    struct RetiredPhase {
+      std::unique_ptr<client::PlaybackSchedule> playback;
+      bool hls = false;
+    };
+    std::vector<RetiredPhase> retired;
     std::unique_ptr<sim::PeriodicProcess> poll_process;  // HLS only
     std::int64_t last_seq = -1;
     bool poll_outstanding = false;
-    /// Set while an RTMP->HLS failover is in flight: the crash time,
-    /// cleared (and the latency recorded) when the first chunk lands.
+    /// Attachment epoch: bumped at every migration so responses in flight
+    /// from a previous attachment are dropped (the client closed that
+    /// connection), never delivered into the new pipeline.
+    std::uint64_t generation = 0;
+    /// Set while a failover is in flight: the death time, cleared (and
+    /// the latency recorded) when the first post-migration chunk lands.
     TimeUs failover_crash_at = -1;
+    /// Which ledger the in-flight failover belongs to (RTMP->HLS vs
+    /// edge-to-edge).
+    bool failover_from_edge = false;
   };
 
   cdn::EdgeServer& edge_for(DatacenterId site);
@@ -201,8 +249,18 @@ class BroadcastSession {
   void record_hls_chunk(Viewer& v, const media::Chunk& c, TimeUs poll_at_edge,
                         TimeUs recv_time, DurationUs download_delay);
   void arm_faults();
+  void register_fault_handlers(fault::FaultInjector& injector);
   void on_ingest_crash(const fault::FaultEvent& e);
+  void on_edge_down(const fault::FaultEvent& e);
   void migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at);
+  void migrate_hls_viewer(Viewer& v, TimeUs died_at);
+  void rejoin_rtmp_viewer(Viewer& v);
+  /// Nearest edge whose site is not inside a down window at `now`;
+  /// nullptr when every edge is dark. With no outages this is exactly
+  /// catalog_.nearest(p, kEdge) (same iteration order, same tie-break).
+  const geo::Datacenter* nearest_live_edge(const geo::GeoPoint& p,
+                                           TimeUs now) const;
+  bool edge_site_down(std::uint64_t site, TimeUs now) const noexcept;
 
   sim::Simulator& sim_;
   const geo::DatacenterCatalog& catalog_;
@@ -221,13 +279,23 @@ class BroadcastSession {
   std::vector<std::unique_ptr<Viewer>> viewers_;
   Viewer* first_hls_viewer_ = nullptr;  // journey-ledger subject
 
-  // Fault state (all inert when config_.faults is empty).
-  std::unique_ptr<fault::FaultInjector> injector_;
+  // Fault state (all inert when config_.faults is empty and nothing was
+  // injected live). Several injectors can coexist: one from the config
+  // schedule plus one per inject_faults() call.
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors_;
+  /// Per-site outage horizon: site -> sim time its current down window
+  /// ends. Covers catalog sites with no EdgeServer object yet, so
+  /// re-anycast avoids dark PoPs the session never touched.
+  std::unordered_map<std::uint64_t, TimeUs> edge_down_until_;
   TimeUs corruption_until_ = 0;   // HLS downloads may corrupt before this
   double corruption_prob_ = 0.0;
   std::uint64_t corrupted_downloads_ = 0;
   std::uint64_t rtmp_failovers_ = 0;
+  std::uint64_t edge_failovers_ = 0;
+  std::uint64_t orphaned_viewers_ = 0;
+  std::uint64_t rtmp_rejoins_ = 0;
   stats::Accumulator failover_latency_s_;
+  stats::Accumulator edge_failover_latency_s_;
 
   // Measurement state.
   bool finalized_ = false;

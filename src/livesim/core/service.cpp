@@ -1,5 +1,7 @@
 #include "livesim/core/service.h"
 
+#include <algorithm>
+
 namespace livesim::core {
 
 LivestreamService::LivestreamService(sim::Simulator& sim,
@@ -152,6 +154,28 @@ bool LivestreamService::send_comment(const ViewerHandle& viewer,
   ++b->info.comments;
   deliver_feedback(*b, m, viewer.rtmp);
   return true;
+}
+
+std::size_t LivestreamService::inject_scenario(
+    const fault::FaultScenario& scenario, std::uint64_t seed) {
+  if (scenario.empty()) return 0;  // inert: no expansion, no RNG draws
+  // Expand ONCE against the shared catalog: every session replays the
+  // same outage script, so concurrent broadcasts experience one regional
+  // event together rather than independent copies of it.
+  const fault::FaultSchedule schedule = scenario.expand(catalog_, seed);
+  if (schedule.empty()) return 0;
+
+  // Sorted by broadcast id: injector arming order (and therefore
+  // event-queue tie-breaking) is independent of hash-map iteration order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(broadcasts_.size());
+  for (const auto& [id, b] : broadcasts_)
+    if (b->info.live) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  for (std::uint64_t id : ids)
+    broadcasts_.at(id)->session->inject_faults(schedule);
+  return ids.size();
 }
 
 std::optional<LivestreamService::BroadcastInfo> LivestreamService::info(

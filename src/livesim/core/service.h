@@ -20,6 +20,7 @@
 
 #include "livesim/core/broadcast_session.h"
 #include "livesim/crawler/crawler.h"
+#include "livesim/fault/scenario.h"
 #include "livesim/msg/pubsub.h"
 #include "livesim/stats/accumulator.h"
 
@@ -102,6 +103,17 @@ class LivestreamService {
   /// Viewer posts a comment (ignored unless the handle has comment
   /// rights -- the cap the paper criticizes).
   bool send_comment(const ViewerHandle& viewer, const std::string& text);
+
+  /// Injects one correlated fault scenario into EVERY live broadcast: the
+  /// scenario is expanded against the shared catalog exactly once (so all
+  /// sessions see the same outage — one regional blackout, not one per
+  /// broadcast), then handed to each live session via
+  /// BroadcastSession::inject_faults with event times relative to now.
+  /// An empty scenario expands to an empty schedule and injects nothing
+  /// (bit-for-bit inert). Returns the number of sessions that received
+  /// the schedule.
+  std::size_t inject_scenario(const fault::FaultScenario& scenario,
+                              std::uint64_t seed);
 
   // --- introspection ---
   const crawler::GlobalList& global_list() const noexcept { return list_; }

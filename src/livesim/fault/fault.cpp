@@ -11,6 +11,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kEdgeCacheFlush: return "edge-cache-flush";
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kChunkCorruption: return "chunk-corruption";
+    case FaultKind::kEdgeDown: return "edge-down";
   }
   return "unknown";
 }
@@ -32,7 +33,8 @@ FaultSchedule FaultSchedule::randomized(const RandomFaultParams& params,
 
   const std::array<double, kFaultKindCount> weights = {
       params.ingest_crash_weight, params.edge_flush_weight,
-      params.link_degrade_weight, params.chunk_corruption_weight};
+      params.link_degrade_weight, params.chunk_corruption_weight,
+      params.edge_down_weight};
   double total_weight = 0.0;
   for (double w : weights) total_weight += w > 0.0 ? w : 0.0;
   if (total_weight <= 0.0) return out;
@@ -72,6 +74,10 @@ FaultSchedule FaultSchedule::randomized(const RandomFaultParams& params,
         e.duration = static_cast<DurationUs>(rng.exponential(
             static_cast<double>(params.mean_corruption_window)));
         e.magnitude = params.corruption_probability;
+        break;
+      case FaultKind::kEdgeDown:
+        e.duration = static_cast<DurationUs>(
+            rng.exponential(static_cast<double>(params.mean_edge_down)));
         break;
     }
     out.events_.push_back(e);  // generated in time order already

@@ -26,8 +26,9 @@ enum class FaultKind : std::uint8_t {
   kEdgeCacheFlush,     // edge cache wiped; next poll re-pulls from origin
   kLinkDegrade,        // link outage/partition lasting `duration`
   kChunkCorruption,    // downloads corrupt w.p. `magnitude` for `duration`
+  kEdgeDown,           // edge PoP dies for `duration`; viewers re-anycast
 };
-inline constexpr std::size_t kFaultKindCount = 4;
+inline constexpr std::size_t kFaultKindCount = 5;
 
 const char* to_string(FaultKind kind) noexcept;
 
@@ -37,7 +38,9 @@ struct FaultEvent {
   /// Down / degradation / corruption window length (0 = point event).
   DurationUs duration = 0;
   /// Optional target site id (datacenter); 0 = the session default
-  /// (the broadcaster's ingest, or every edge for cache flushes).
+  /// (the broadcaster's ingest, or every edge for cache flushes and
+  /// edge-down events). Scenario expansion (scenario.h) always targets
+  /// concrete sites, so one correlated script can dim a whole region.
   std::uint64_t target = 0;
   /// Kind-specific knob; for kChunkCorruption the per-download
   /// corruption probability (<=0 means the generator default).
@@ -53,14 +56,18 @@ struct RandomFaultParams {
   DurationUs horizon = 0;
 
   // Relative kind weights (normalized internally; all-zero = no faults).
+  // edge_down defaults to 0 so legacy (pre-kEdgeDown) parameter sets draw
+  // byte-identical schedules.
   double ingest_crash_weight = 1.0;
   double edge_flush_weight = 1.0;
   double link_degrade_weight = 1.0;
   double chunk_corruption_weight = 1.0;
+  double edge_down_weight = 0.0;
 
   DurationUs mean_ingest_down = 8 * time::kSecond;
   DurationUs mean_link_down = 4 * time::kSecond;
   DurationUs mean_corruption_window = 5 * time::kSecond;
+  DurationUs mean_edge_down = 6 * time::kSecond;
   double corruption_probability = 0.5;
 };
 

@@ -1,0 +1,167 @@
+#include "livesim/fault/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "livesim/sim/parallel.h"
+
+namespace livesim::fault {
+
+namespace {
+
+// Substream salt so scenario expansion and (per-broadcast) randomized
+// schedules seeded from the same master seed never share a stream.
+constexpr std::uint64_t kScenarioSeedSalt = 0x5CE7A210ULL;
+
+struct RankedEdge {
+  const geo::Datacenter* dc;
+  double km;
+};
+
+// Edge sites by distance from `from` (ties broken by catalog id, so the
+// ranking is total and identical on every platform).
+std::vector<RankedEdge> edges_by_distance(
+    const geo::DatacenterCatalog& catalog, const geo::GeoPoint& from) {
+  std::vector<RankedEdge> out;
+  for (const auto* dc : catalog.edge_sites())
+    out.push_back({dc, geo::haversine_km(from, dc->location)});
+  std::sort(out.begin(), out.end(), [](const RankedEdge& a, const RankedEdge& b) {
+    if (a.km != b.km) return a.km < b.km;
+    return a.dc->id.value < b.dc->id.value;
+  });
+  return out;
+}
+
+void expand_blackout(const geo::DatacenterCatalog& catalog,
+                     const RegionalBlackoutSpec& spec, FaultSchedule& out) {
+  for (DatacenterId site : FaultScenario::blackout_sites(catalog, spec)) {
+    FaultEvent e;
+    e.at = spec.at;
+    e.kind = FaultKind::kEdgeDown;
+    e.duration = spec.duration;
+    e.target = site.value;
+    out.add(e);
+  }
+  if (spec.include_ingest) {
+    for (const auto* dc : catalog.ingest_sites()) {
+      if (geo::haversine_km(spec.center, dc->location) > spec.radius_km)
+        continue;
+      FaultEvent e;
+      e.at = spec.at;
+      e.kind = FaultKind::kIngestCrash;
+      e.duration = spec.duration;
+      e.target = dc->id.value;
+      out.add(e);
+    }
+  }
+}
+
+void expand_cascade(const geo::DatacenterCatalog& catalog,
+                    const CascadeSpec& spec, Rng& rng, FaultSchedule& out) {
+  const geo::Datacenter& origin =
+      catalog.nearest(spec.origin, geo::CdnRole::kIngest);
+  FaultEvent crash;
+  crash.at = spec.at;
+  crash.kind = FaultKind::kIngestCrash;
+  crash.duration = spec.ingest_down;
+  crash.target = origin.id.value;
+  out.add(crash);
+
+  // Hop h strikes the h-th nearest edge (within the regional radius) with
+  // probability p * attenuation^(h-1): the failed-over viewers re-anycast
+  // outward, and so does the overload. The bernoulli draw happens for
+  // every hop regardless of outcome, so the draw count — and therefore
+  // every later draw in this event's substream — is schedule-independent.
+  const auto ranked = edges_by_distance(catalog, origin.location);
+  std::size_t hop = 0;
+  for (const auto& cand : ranked) {
+    if (hop >= spec.max_hops) break;
+    if (cand.km > spec.radius_km) break;  // overload stays regional
+    ++hop;
+    const double p = spec.spread_probability *
+                     std::pow(spec.attenuation, static_cast<double>(hop - 1));
+    const bool struck = rng.bernoulli(p);
+    if (!struck) continue;
+    FaultEvent e;
+    e.at = spec.at + spec.propagation_delay * static_cast<DurationUs>(hop);
+    e.kind = FaultKind::kEdgeDown;
+    e.duration = spec.edge_down;
+    e.target = cand.dc->id.value;
+    out.add(e);
+  }
+}
+
+void expand_wave(const geo::DatacenterCatalog& catalog,
+                 const RollingWaveSpec& spec, FaultSchedule& out) {
+  auto edges = catalog.edge_sites();
+  std::sort(edges.begin(), edges.end(),
+            [](const geo::Datacenter* a, const geo::Datacenter* b) {
+              if (a->location.lon_deg != b->location.lon_deg)
+                return a->location.lon_deg < b->location.lon_deg;
+              return a->id.value < b->id.value;
+            });
+  TimeUs at = spec.start;
+  for (const auto* dc : edges) {
+    FaultEvent e;
+    e.at = at;
+    e.kind = spec.flush_only ? FaultKind::kEdgeCacheFlush
+                             : FaultKind::kEdgeDown;
+    e.duration = spec.flush_only ? 0 : spec.down_per_site;
+    e.target = dc->id.value;
+    out.add(e);
+    at += spec.site_gap;
+  }
+}
+
+}  // namespace
+
+FaultScenario& FaultScenario::add(RegionalBlackoutSpec spec) {
+  specs_.emplace_back(spec);
+  return *this;
+}
+
+FaultScenario& FaultScenario::add(CascadeSpec spec) {
+  specs_.emplace_back(spec);
+  return *this;
+}
+
+FaultScenario& FaultScenario::add(RollingWaveSpec spec) {
+  specs_.emplace_back(spec);
+  return *this;
+}
+
+std::vector<DatacenterId> FaultScenario::blackout_sites(
+    const geo::DatacenterCatalog& catalog, const RegionalBlackoutSpec& spec) {
+  const auto ranked = edges_by_distance(catalog, spec.center);
+  std::vector<DatacenterId> out;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    // The nearest edge is always dark — radius 0 is a single-PoP outage.
+    if (i > 0 && ranked[i].km > spec.radius_km) break;
+    out.push_back(ranked[i].dc->id);
+  }
+  return out;
+}
+
+FaultSchedule FaultScenario::expand(const geo::DatacenterCatalog& catalog,
+                                    std::uint64_t seed) const {
+  FaultSchedule out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    // One substream per logical event: reordering or deleting a neighbour
+    // never changes this event's expansion.
+    Rng rng(sim::substream_seed(seed ^ kScenarioSeedSalt, i));
+    std::visit(
+        [&](const auto& spec) {
+          using T = std::decay_t<decltype(spec)>;
+          if constexpr (std::is_same_v<T, RegionalBlackoutSpec>)
+            expand_blackout(catalog, spec, out);
+          else if constexpr (std::is_same_v<T, CascadeSpec>)
+            expand_cascade(catalog, spec, rng, out);
+          else
+            expand_wave(catalog, spec, out);
+        },
+        specs_[i]);
+  }
+  return out;
+}
+
+}  // namespace livesim::fault

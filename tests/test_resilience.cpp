@@ -12,11 +12,14 @@
 //     latency ledger matches the migration count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "livesim/analysis/resilience.h"
 #include "livesim/core/broadcast_session.h"
+#include "livesim/core/service.h"
+#include "livesim/fault/scenario.h"
 #include "livesim/sim/parallel.h"
 
 namespace {
@@ -254,6 +257,358 @@ TEST(Failover, MigratedViewersKeepPlayingAfterTheCrash) {
     EXPECT_TRUE(v.hls);
     EXPECT_LT(v.stall_ratio, 0.2);
   }
+}
+
+// --- 4. Correlated fault scenarios -----------------------------------
+
+std::uint64_t fingerprint(const fault::FaultSchedule& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& e : s.events()) {
+    h = mix(h, static_cast<std::uint64_t>(e.at));
+    h = mix(h, static_cast<std::uint64_t>(e.kind));
+    h = mix(h, static_cast<std::uint64_t>(e.duration));
+    h = mix(h, e.target);
+    h = mix_double(h, e.magnitude);
+  }
+  return h;
+}
+
+TEST(ScenarioExpansion, EmptyScenarioExpandsToEmptySchedule) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  fault::FaultScenario scenario;
+  EXPECT_TRUE(scenario.empty());
+  EXPECT_TRUE(scenario.expand(catalog, 1).empty());
+}
+
+TEST(ScenarioExpansion, ZeroRadiusBlackoutKillsExactlyTheNearestEdge) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  fault::RegionalBlackoutSpec spec;
+  spec.center = {50.11, 8.68};  // Frankfurt
+  spec.radius_km = 0.0;
+  const auto sites = fault::FaultScenario::blackout_sites(catalog, spec);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].value,
+            catalog.nearest(spec.center, geo::CdnRole::kEdge).id.value);
+
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  const auto schedule = scenario.expand(catalog, 1);
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_EQ(schedule.events()[0].kind, fault::FaultKind::kEdgeDown);
+  EXPECT_EQ(schedule.events()[0].target, sites[0].value);
+}
+
+TEST(ScenarioExpansion, WiderRadiusDarkensMoreSites) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  fault::RegionalBlackoutSpec spec;
+  spec.center = {50.11, 8.68};
+  spec.radius_km = 1500.0;
+  const auto regional = fault::FaultScenario::blackout_sites(catalog, spec);
+  EXPECT_GT(regional.size(), 1u);
+  spec.radius_km = 50000.0;  // the whole planet
+  const auto global = fault::FaultScenario::blackout_sites(catalog, spec);
+  EXPECT_EQ(global.size(), catalog.edge_sites().size());
+}
+
+TEST(ScenarioExpansion, DeterministicInSeedAndSubstreamPerSpec) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  fault::CascadeSpec cascade;
+  cascade.origin = {37.77, -122.42};
+  cascade.at = 5 * time::kSecond;
+  fault::FaultScenario one;
+  one.add(cascade);
+
+  // Same (scenario, catalog, seed) -> same schedule, bit for bit.
+  EXPECT_EQ(fingerprint(one.expand(catalog, 9)),
+            fingerprint(one.expand(catalog, 9)));
+  EXPECT_NE(fingerprint(one.expand(catalog, 9)),
+            fingerprint(one.expand(catalog, 10)));
+
+  // Appending a neighbour never perturbs an earlier spec's expansion:
+  // the cascade's events must appear unchanged in the combined schedule.
+  fault::RollingWaveSpec wave;
+  wave.start = 60 * time::kSecond;
+  fault::FaultScenario both = one;
+  both.add(wave);
+  const auto solo = one.expand(catalog, 9);
+  const auto combined = both.expand(catalog, 9);
+  for (const auto& e : solo.events()) {
+    const bool present = std::any_of(
+        combined.events().begin(), combined.events().end(),
+        [&](const fault::FaultEvent& c) {
+          return c.at == e.at && c.kind == e.kind &&
+                 c.duration == e.duration && c.target == e.target;
+        });
+    EXPECT_TRUE(present) << "cascade event perturbed by appended wave";
+  }
+}
+
+TEST(ScenarioExpansion, RollingWaveSweepsEveryEdgeWestToEast) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  fault::RollingWaveSpec wave;
+  wave.site_gap = 3 * time::kSecond;
+  fault::FaultScenario scenario;
+  scenario.add(wave);
+  const auto schedule = scenario.expand(catalog, 1);
+  EXPECT_EQ(schedule.size(), catalog.edge_sites().size());
+  // One site at a time: event times strictly increase by the gap.
+  const auto& ev = schedule.events();
+  for (std::size_t i = 1; i < ev.size(); ++i)
+    EXPECT_EQ(ev[i].at - ev[i - 1].at, wave.site_gap);
+}
+
+// --- 5. Edge-to-edge failover ----------------------------------------
+
+TEST(Failover, EdgeDeathReanycastsEveryAttachedViewerWithZeroOrphans) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 4;
+  cfg.global_viewers = false;  // everyone on the broadcaster's edge
+  cfg.seed = 5;
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 15 * time::kSecond;
+  spec.center = cfg.broadcaster_location;
+  spec.radius_km = 0.0;
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  cfg.faults = scenario.expand(catalog, cfg.seed);
+
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  // 100% of the dead PoP's viewers re-anycast; none orphaned.
+  EXPECT_EQ(session.edge_failovers(), cfg.hls_viewers);
+  EXPECT_EQ(session.orphaned_viewers(), 0u);
+  // One latency sample per completed failover, >= the detect timeout
+  // (detection + re-anycast + re-anchored first chunk).
+  ASSERT_EQ(session.edge_failover_latency_s().count(), cfg.hls_viewers);
+  EXPECT_GE(session.edge_failover_latency_s().min(),
+            time::to_seconds(cfg.failover_detect_timeout));
+  for (const auto& v : session.viewer_results()) {
+    EXPECT_FALSE(v.orphaned);
+    EXPECT_GT(v.units_played, 0u);
+    // Everyone moved off the dead site.
+    EXPECT_NE(v.attachment.value, cfg.faults.events()[0].target);
+  }
+}
+
+TEST(Failover, RegionalBlackoutOfEveryEdgeOrphansViewers) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 3;
+  cfg.global_viewers = false;
+  cfg.seed = 6;
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 30 * time::kSecond;
+  spec.center = cfg.broadcaster_location;
+  spec.radius_km = 50000.0;  // the whole footprint goes dark
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  cfg.faults = scenario.expand(catalog, cfg.seed);
+
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  EXPECT_EQ(session.edge_failovers(), 0u);
+  EXPECT_EQ(session.orphaned_viewers(), cfg.hls_viewers);
+  std::size_t orphaned = 0;
+  for (const auto& v : session.viewer_results())
+    if (v.orphaned) ++orphaned;
+  EXPECT_EQ(orphaned, cfg.hls_viewers);
+}
+
+// --- 6. RTMP re-join after ingest restart ----------------------------
+
+TEST(Failover, RtmpViewersRejoinRtmpAfterIngestRestart) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 90 * time::kSecond;
+  cfg.rtmp_viewers = 3;
+  cfg.hls_viewers = 1;
+  cfg.seed = 17;
+  cfg.rtmp_rejoin_after_restart = true;
+  cfg.faults.add({20 * time::kSecond, fault::FaultKind::kIngestCrash,
+                  10 * time::kSecond});
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  // Crash -> every RTMP viewer migrates to HLS; restart -> every one of
+  // them re-attaches to RTMP (the second pipeline flush).
+  EXPECT_EQ(session.rtmp_failovers(), cfg.rtmp_viewers);
+  EXPECT_EQ(session.rtmp_rejoins(), cfg.rtmp_viewers);
+  std::size_t back_on_rtmp = 0;
+  for (const auto& v : session.viewer_results()) {
+    if (!v.hls) ++back_on_rtmp;
+    EXPECT_GT(v.units_played, 0u);
+  }
+  EXPECT_EQ(back_on_rtmp, cfg.rtmp_viewers);
+  // The rejoined viewers keep receiving frames over RTMP afterwards: the
+  // live playback schedule (the post-rejoin phase) saw fresh media.
+  for (std::size_t i = 0; i < session.viewer_count(); ++i) {
+    if (session.viewer_is_hls(i)) continue;
+    EXPECT_GT(session.viewer_playback(i).media_offered(), 0u);
+  }
+}
+
+TEST(Failover, RejoinDefaultsOffSoMigratedViewersStayOnHls) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 90 * time::kSecond;
+  cfg.rtmp_viewers = 2;
+  cfg.hls_viewers = 0;
+  cfg.seed = 17;
+  ASSERT_FALSE(cfg.rtmp_rejoin_after_restart);
+  cfg.faults.add({20 * time::kSecond, fault::FaultKind::kIngestCrash,
+                  10 * time::kSecond});
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+  EXPECT_EQ(session.rtmp_rejoins(), 0u);
+  for (const auto& v : session.viewer_results()) EXPECT_TRUE(v.hls);
+}
+
+// --- 7. Regional experiment & service-level injection ----------------
+
+std::uint64_t fingerprint(const analysis::RegionalOutageStats& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, fingerprint(r.stall_ratio));
+  h = mix(h, fingerprint(r.failover_latency_s));
+  h = mix(h, r.counters.viewers);
+  h = mix(h, r.counters.affected);
+  h = mix(h, r.counters.failovers);
+  h = mix(h, r.counters.orphaned);
+  h = mix(h, static_cast<std::uint64_t>(r.dark_edges));
+  return h;
+}
+
+TEST(RegionalDeterminism, ByteIdenticalAtThreads128) {
+  const auto traces = small_trace_set(1);
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  analysis::RegionalOutageConfig cfg;
+  cfg.radius_km = 3000.0;
+  cfg.seed = 77;
+
+  cfg.threads = 1;
+  const auto r1 = analysis::regional_resilience_experiment(traces, catalog,
+                                                           cfg);
+  ASSERT_GT(r1.counters.affected, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const auto rn =
+        analysis::regional_resilience_experiment(traces, catalog, cfg);
+    EXPECT_EQ(fingerprint(r1), fingerprint(rn))
+        << "regional run diverged at threads=" << threads;
+  }
+}
+
+TEST(RegionalDeterminism, ZeroRadiusFailsOverEveryAffectedViewer) {
+  const auto traces = small_trace_set(1);
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  analysis::RegionalOutageConfig cfg;  // radius_km defaults to 0
+  cfg.seed = 3;
+  const auto r = analysis::regional_resilience_experiment(traces, catalog,
+                                                          cfg);
+  EXPECT_EQ(r.dark_edges, 1u);
+  ASSERT_GT(r.counters.affected, 0u);
+  EXPECT_EQ(r.counters.failovers, r.counters.affected);
+  EXPECT_EQ(r.counters.orphaned, 0u);
+  EXPECT_EQ(r.failover_latency_s.size(), r.counters.failovers);
+}
+
+TEST(NoFaultParity, EmptyScenarioInjectionIsBitIdenticalToCleanSession) {
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  auto run = [&](bool inject_empty) {
+    sim::Simulator sim;
+    core::SessionConfig cfg;
+    cfg.broadcast_len = 30 * time::kSecond;
+    cfg.rtmp_viewers = 2;
+    cfg.hls_viewers = 2;
+    cfg.seed = 23;
+    core::BroadcastSession session(sim, catalog, cfg);
+    session.start();
+    if (inject_empty) {
+      // An empty scenario expands to an empty schedule, which must be a
+      // complete no-op: no injector, no RNG draws, no event traffic.
+      fault::FaultScenario empty;
+      session.inject_faults(empty.expand(catalog, cfg.seed));
+    }
+    sim.run();
+    session.finalize();
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& v : session.viewer_results()) {
+      h = mix(h, v.hls ? 1 : 0);
+      h = mix_double(h, v.stall_ratio);
+      h = mix_double(h, v.mean_buffering_s);
+      h = mix(h, v.units_played);
+      h = mix(h, v.units_discarded);
+    }
+    h = mix(h, session.faults_injected());
+    h = mix_double(h, session.hls_breakdown().buffering_s.mean());
+    h = mix_double(h, session.rtmp_breakdown().buffering_s.mean());
+    return h;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ScenarioInjection, ServiceSharesOneOutageAcrossLiveBroadcasts) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::LivestreamService::Config cfg;
+  cfg.rtmp_slot_cap = 0;  // every joiner lands on HLS
+  cfg.session_defaults.broadcast_len = 60 * time::kSecond;
+  cfg.seed = 31;
+  core::LivestreamService service(sim, catalog, cfg);
+
+  const geo::GeoPoint sf{37.77, -122.42};
+  std::vector<BroadcastId> ids;
+  for (int b = 0; b < 3; ++b) {
+    ids.push_back(service.start_broadcast(sf, 60 * time::kSecond));
+    for (int v = 0; v < 2; ++v) ASSERT_TRUE(service.join(ids.back(), sf));
+  }
+
+  fault::FaultScenario empty;
+  EXPECT_EQ(service.inject_scenario(empty, cfg.seed), 0u);
+
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 15 * time::kSecond;
+  spec.center = sf;
+  spec.radius_km = 0.0;
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  EXPECT_EQ(service.inject_scenario(scenario, cfg.seed), ids.size());
+
+  sim.run();
+  std::uint64_t failovers = 0, orphans = 0;
+  for (BroadcastId id : ids) {
+    core::BroadcastSession* s = service.session(id);
+    ASSERT_NE(s, nullptr);
+    s->finalize();
+    EXPECT_GT(s->faults_injected(), 0u);
+    failovers += s->edge_failovers();
+    orphans += s->orphaned_viewers();
+  }
+  // One shared outage: every broadcast's two viewers re-anycast.
+  EXPECT_EQ(failovers, 6u);
+  EXPECT_EQ(orphans, 0u);
 }
 
 TEST(Failover, CorruptionWindowCountsDiscardedDownloads) {
