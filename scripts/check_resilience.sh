@@ -8,7 +8,12 @@
 #   * thread-count determinism ("identical: yes" for threads 1/2/8) for
 #     both the randomized sweep and the regional-outage sweep, and
 #   * the zero-radius contract: a single dead edge PoP re-anycasts 100%
-#     of its viewers (failovers == affected) with zero orphans.
+#     of its viewers (failovers == affected) with zero orphans,
+#   * the capacity-spill contracts: with edge_capacity=0 the capacity
+#     experiment reproduces the regional experiment bit for bit
+#     ("infinite-capacity parity ... identical: yes"), finite-capacity
+#     pile-ups are thread-deterministic, and affected viewers conserve
+#     (failovers + orphaned == affected).
 #
 #   ./scripts/check_resilience.sh [build-dir]    # default: build
 #
@@ -27,6 +32,7 @@ cmake -B "$BUILD" -S . || fail "configure did not succeed"
 cmake --build "$BUILD" -j \
       --target livesim_resilience_tests bench_resilience_fault_sweep \
                bench_resilience_regional_outage \
+               bench_resilience_capacity_spill \
   || fail "build did not succeed"
 
 ctest --test-dir "$BUILD" -L resilience --output-on-failure \
@@ -63,4 +69,30 @@ done
 echo "$ROUT" | grep -q "all checks passed" \
   || fail "edge-to-edge failover / service scenario-injection demo did not pass"
 
-echo "resilience check passed: no-fault baseline inert, results thread-deterministic, failover (ingest and edge-to-edge) functional."
+# --- capacity-spill bench: per-edge capacity + load-aware re-anycast
+COUT="$("$BUILD"/bench/bench_resilience_capacity_spill 160)" \
+  || fail "bench_resilience_capacity_spill exited non-zero"
+
+# Infinite capacity must reproduce the PR 3 regional results bit for bit
+# (one parity line per swept radius, and both must say yes).
+PARITY_LINES=$(echo "$COUT" | grep -c "infinite-capacity parity:")
+[ "$PARITY_LINES" -ge 2 ] \
+  || fail "expected at least 2 infinite-capacity parity lines, got $PARITY_LINES"
+echo "$COUT" | grep "infinite-capacity parity:" | grep -qv "identical: yes" \
+  && fail "infinite-capacity run is NOT bit-identical to the regional experiment"
+
+for t in 1 2 8; do
+  echo "$COUT" | grep -q "threads=$t .*identical: yes" \
+    || fail "finite-capacity spill results not bit-identical at threads=$t"
+done
+
+echo "$COUT" | grep -Eq \
+  "capacity-spill contract: capacity=[0-9]+ affected=([0-9]+) failovers=([0-9]+) orphaned=([0-9]+)" \
+  || fail "capacity-spill contract line missing"
+echo "$COUT" | grep -q "capacity-spill contract VIOLATED" \
+  && fail "capacity-spill conservation contract violated (failovers + orphaned != affected)"
+
+echo "$COUT" | grep -q "all checks passed" \
+  || fail "capacity-spill session demo (ring-by-ring overflow) did not pass"
+
+echo "resilience check passed: no-fault baseline inert, results thread-deterministic, failover (ingest and edge-to-edge) functional, capacity spill parity and determinism certified."

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <unordered_map>
 
 #include "livesim/fault/backoff.h"
 #include "livesim/sim/parallel.h"
@@ -354,6 +355,252 @@ RegionalOutageStats regional_resilience_experiment(
     out.stall_ratio.merge(p.stall_ratio);
     out.failover_latency_s.merge(p.failover_latency_s);
     out.counters.merge(p.counters);
+  }
+  return out;
+}
+
+namespace {
+
+// Everything one capacity-spill viewer needs, split across the phases.
+// All RNG draws live in phase A; the walk itself is deterministic given
+// (avail, poll0, the admission outcome), which is what makes the serial
+// admission pass legal without replaying randomness.
+struct SpillPlan {
+  // phase A: draws + pre-walk
+  bool has_media = false;  // trace had media; the viewer exists at all
+  bool dark_member = false;
+  bool affected = false;   // pre-walk reached the re-anycast decision
+  TimeUs decision_t = 0;   // instant the re-anycast decision lands
+  std::uint64_t home = 0;  // load-blind anycast attachment
+  geo::GeoPoint loc{};
+  std::vector<TimeUs> avail;
+  TimeUs poll0 = 0;
+  // phase B: admission outcome
+  bool orphaned = false;
+  // phase A (unaffected) or C (affected): results
+  double stall = 0.0;
+  bool has_latency = false;
+  double latency_s = 0.0;
+};
+
+// The poll walk of simulate_regional_viewer, replayed from stored draws.
+// In probe mode (resolved == false) it stops at the re-anycast decision
+// point, records decision_t, and returns true; a viewer that never hits
+// the decision completes and scores. In resolve mode the admission
+// outcome in `plan` is applied: orphaned -> break (the missing tail
+// scores as stall), admitted -> migrate with the cold-cache penalty.
+// Every arithmetic step matches simulate_regional_viewer exactly — the
+// infinite-capacity parity contract depends on it.
+bool walk_spill_viewer(const BroadcastTrace& trace,
+                       const RegionalOutageConfig& cfg, bool resolved,
+                       SpillPlan& plan) {
+  const DurationUs total_media =
+      static_cast<DurationUs>(trace.frame_arrivals.size()) *
+      trace.frame_interval;
+  const std::size_t n_chunks = trace.chunks.size();
+
+  client::AdaptivePlayback playback(cfg.playback);
+  const TimeUs outage_end = cfg.outage_at + cfg.outage_duration;
+  const TimeUs wall_horizon =
+      (n_chunks ? plan.avail[n_chunks - 1] : 0) + 8 * cfg.poll_interval +
+      cfg.outage_duration;
+
+  TimeUs poll_t = plan.poll0;
+  std::size_t cursor = 0;
+  bool migrated = false;
+  bool awaiting_first = false;
+  DurationUs cold_penalty = 0;
+  bool hit = false;
+
+  while (cursor < n_chunks && poll_t <= wall_horizon) {
+    if (!migrated && plan.dark_member && poll_t >= cfg.outage_at &&
+        poll_t < outage_end) {
+      hit = true;
+      if (!resolved) {
+        plan.decision_t = poll_t + cfg.detect_timeout;
+        return true;  // probe: the admission outcome is not known yet
+      }
+      if (plan.orphaned) break;
+      migrated = true;
+      awaiting_first = true;
+      cold_penalty = cfg.w2f_offset;
+      poll_t += cfg.detect_timeout;
+      continue;
+    }
+
+    if (plan.avail[cursor] <= poll_t) {
+      const TimeUs recv = poll_t + cold_penalty + kHlsDownload;
+      cold_penalty = 0;
+      if (awaiting_first) {
+        plan.latency_s = time::to_seconds(recv - cfg.outage_at);
+        plan.has_latency = true;
+        awaiting_first = false;
+      }
+      while (cursor < n_chunks && plan.avail[cursor] <= poll_t) {
+        const auto& c = trace.chunks[cursor];
+        playback.on_arrival(recv, c.media_start, c.duration);
+        ++cursor;
+      }
+    }
+    poll_t += cfg.poll_interval;
+  }
+
+  const DurationUs offered = std::min(playback.media_offered(), total_media);
+  const double offered_stall =
+      playback.stall_ratio() * static_cast<double>(playback.media_offered());
+  const double missing = static_cast<double>(total_media - offered);
+  plan.stall = std::min(
+      1.0, (offered_stall + missing) / static_cast<double>(total_media));
+  return hit;
+}
+
+}  // namespace
+
+CapacitySpillStats capacity_spill_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config) {
+  const RegionalOutageConfig& base = config.base;
+
+  // The dark set, computed once from (catalog, center, radius) — shared
+  // by every viewer, sorted for deterministic membership tests.
+  fault::RegionalBlackoutSpec spec;
+  spec.at = base.outage_at;
+  spec.duration = base.outage_duration;
+  spec.center = base.center;
+  spec.radius_km = base.radius_km;
+  std::vector<DatacenterId> dark_ids =
+      fault::FaultScenario::blackout_sites(catalog, spec);
+  std::vector<std::uint64_t> dark;
+  for (DatacenterId site : dark_ids) dark.push_back(site.value);
+  std::sort(dark.begin(), dark.end());
+
+  const std::uint32_t V = base.viewers_per_broadcast;
+  std::vector<SpillPlan> plans(traces.size() * V);
+
+  // --- Phase A (parallel): replay draws, pre-walk to the decision -----
+  // Draw order per viewer is EXACTLY simulate_regional_viewer's:
+  // location, n_chunks W2F pulls, poll phase. Traces own substreams, so
+  // shard boundaries are invisible.
+  sim::parallel_for_shards(
+      traces.size(), base.threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        geo::UserGeoSampler sampler;
+        for (std::size_t i = begin; i < end; ++i) {
+          const BroadcastTrace& trace = traces[i];
+          const DurationUs total_media =
+              static_cast<DurationUs>(trace.frame_arrivals.size()) *
+              trace.frame_interval;
+          if (total_media <= 0) continue;  // no draws, no viewers
+          Rng rng(sim::substream_seed(base.seed, i));
+          for (std::uint32_t v = 0; v < V; ++v) {
+            SpillPlan& plan = plans[i * V + v];
+            plan.has_media = true;
+            plan.loc = sampler.sample(rng);
+            plan.home = catalog.nearest(plan.loc, geo::CdnRole::kEdge).id.value;
+            plan.dark_member =
+                std::binary_search(dark.begin(), dark.end(), plan.home);
+            const std::size_t n_chunks = trace.chunks.size();
+            plan.avail.resize(n_chunks);
+            for (std::size_t j = 0; j < n_chunks; ++j) {
+              const auto w2f = static_cast<DurationUs>(
+                  static_cast<double>(base.w2f_offset) *
+                  (1.0 + 0.35 * std::abs(rng.normal(0.0, 1.0))));
+              plan.avail[j] = trace.chunks[j].completed_at_ingest + w2f;
+            }
+            plan.poll0 = static_cast<TimeUs>(
+                rng.uniform() * static_cast<double>(base.poll_interval));
+            plan.affected =
+                walk_spill_viewer(trace, base, /*resolved=*/false, plan);
+          }
+        }
+      });
+
+  CapacitySpillStats out;
+  out.dark_edges = dark.size();
+
+  // --- Phase B (serial): admissions against the shared load ledger ----
+  // Load-blind joins first: every viewer counts toward its home edge.
+  std::unordered_map<std::uint64_t, std::uint64_t> load;
+  for (const SpillPlan& p : plans)
+    if (p.has_media) load[p.home] += 1;
+  std::unordered_map<std::uint64_t, std::uint64_t> peak = load;
+
+  // Affected viewers re-anycast in the order their decisions land;
+  // (trace, viewer) breaks wall-clock ties, so the pile-up sequence is
+  // deterministic and independent of thread count.
+  std::vector<std::size_t> order;
+  for (std::size_t idx = 0; idx < plans.size(); ++idx)
+    if (plans[idx].affected) order.push_back(idx);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return plans[a].decision_t < plans[b].decision_t;
+                   });
+
+  for (std::size_t idx : order) {
+    SpillPlan& p = plans[idx];
+    out.counters.affected += 1;
+    if (load[p.home] > 0) load[p.home] -= 1;  // left the dead PoP
+
+    // Candidates: the spill_k nearest live edges, ranked (distance, id).
+    bool skipped_full = false;
+    double nearest_live_km = -1.0;
+    const geo::Datacenter* chosen = nullptr;
+    double chosen_km = 0.0;
+    for (const geo::Datacenter* dc : catalog.k_nearest(
+             p.loc, geo::CdnRole::kEdge, config.spill_k, dark_ids)) {
+      const double km = geo::haversine_km(p.loc, dc->location);
+      if (nearest_live_km < 0.0) nearest_live_km = km;
+      if (config.edge_capacity != 0 &&
+          load[dc->id.value] >= config.edge_capacity) {
+        skipped_full = true;  // overflow outward, ring by ring
+        continue;
+      }
+      chosen = dc;
+      chosen_km = km;
+      break;
+    }
+
+    if (chosen == nullptr) {
+      p.orphaned = true;
+      out.counters.orphaned += 1;
+      if (skipped_full) out.capacity_orphans += 1;
+    } else {
+      out.counters.failovers += 1;
+      const std::uint64_t target = chosen->id.value;
+      load[target] += 1;
+      if (load[target] > peak[target]) peak[target] = load[target];
+      if (skipped_full) {
+        out.edge_spills += 1;
+        out.spill_overshoot_km.add(chosen_km - nearest_live_km);
+      }
+    }
+  }
+
+  out.edge_peak_loads.assign(peak.begin(), peak.end());
+  std::sort(out.edge_peak_loads.begin(), out.edge_peak_loads.end());
+
+  // --- Phase C (parallel): resume the affected walks -------------------
+  // No RNG is drawn after the decision point, so the replay is pure.
+  sim::parallel_for_shards(
+      traces.size(), base.threads,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          for (std::uint32_t v = 0; v < V; ++v) {
+            SpillPlan& plan = plans[i * V + v];
+            if (plan.affected)
+              walk_spill_viewer(traces[i], base, /*resolved=*/true, plan);
+          }
+      });
+
+  // --- Phase D (serial): emit samples in canonical order ---------------
+  // (trace, viewer) ascending == regional_resilience_experiment's merged
+  // shard order at every thread count, so the samplers fingerprint
+  // identically at infinite capacity.
+  for (const SpillPlan& p : plans) {
+    if (!p.has_media) continue;
+    out.counters.viewers += 1;
+    out.stall_ratio.add(p.stall);
+    if (p.has_latency) out.failover_latency_s.add(p.latency_s);
   }
   return out;
 }

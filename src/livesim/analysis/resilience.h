@@ -18,6 +18,7 @@
 #define LIVESIM_ANALYSIS_RESILIENCE_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "livesim/analysis/experiments.h"
@@ -26,6 +27,7 @@
 #include "livesim/fault/fault.h"
 #include "livesim/fault/scenario.h"
 #include "livesim/geo/datacenters.h"
+#include "livesim/stats/accumulator.h"
 #include "livesim/stats/sampler.h"
 #include "livesim/util/time.h"
 
@@ -151,6 +153,70 @@ struct RegionalOutageStats {
 RegionalOutageStats regional_resilience_experiment(
     const std::vector<BroadcastTrace>& traces,
     const geo::DatacenterCatalog& catalog, const RegionalOutageConfig& config);
+
+// ---------------------------------------------------------------------
+// Capacity-aware spill experiment: the same regional blackout, but each
+// edge PoP has a finite concurrent-viewer capacity. Failed-over viewers
+// re-anycast to the nearest live edge with a free slot among the
+// `spill_k` nearest, overflowing ring by ring; a viewer is orphaned only
+// when every candidate is dark or full. Capacity gates FAILOVER
+// admissions only — the initial anycast join is load-blind (IP anycast
+// does not know occupancy) but still counts toward an edge's load, so a
+// popular edge can refuse spill traffic from day one.
+//
+// Determinism: a shared load ledger would make naive per-viewer
+// parallelism racy, so the driver runs in phases — (A) a parallel
+// pre-walk that replays each viewer's RNG draws in exactly the order
+// regional_resilience_experiment makes them and walks to the re-anycast
+// decision point; (B) a SERIAL admission pass over affected viewers in
+// (decision time, trace, viewer) order against the ledger; (C) a
+// parallel resumption of the walks (no RNG is drawn after the decision);
+// (D) a serial emission of samples in canonical (trace, viewer) order.
+// Results are byte-identical at every thread count, and with
+// edge_capacity == 0 they reproduce regional_resilience_experiment's
+// samplers and counters bit for bit.
+
+struct CapacitySpillConfig {
+  /// Blackout geometry, viewer population, cadences, seed, threads —
+  /// identical semantics to the regional-outage experiment.
+  RegionalOutageConfig base{};
+  /// Concurrent viewers one edge will ADMIT on failover. 0 = unbounded,
+  /// which degenerates to regional_resilience_experiment bit for bit.
+  std::uint64_t edge_capacity = 0;
+  /// Failover candidates = the spill_k nearest live edges. 0 = the
+  /// entire footprint.
+  std::uint32_t spill_k = 0;
+};
+
+struct CapacitySpillStats {
+  /// Per viewer, canonical (trace, viewer) order: stalled plus
+  /// never-delivered media over total media.
+  stats::Sampler stall_ratio;
+  /// Per completed failover: edge death -> first chunk via the admitted
+  /// edge, seconds.
+  stats::Sampler failover_latency_s;
+  RegionalOutageCounters counters;
+  std::size_t dark_edges = 0;
+
+  /// Failover admissions that overflowed past a live-but-full edge.
+  std::uint64_t edge_spills = 0;
+  /// Extra kilometres the spilled viewer travels past its nearest live
+  /// edge (0 km when the tied co-located site absorbed it).
+  stats::Accumulator spill_overshoot_km;
+  /// Orphans that saw at least one live candidate — i.e. orphaned by
+  /// capacity (or a too-small spill_k), not by a footprint-wide blackout.
+  std::uint64_t capacity_orphans = 0;
+  /// Per edge site id: peak concurrent load (anycast joins + admitted
+  /// spill), sorted by site id. The hotspot pile-up ledger.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_peak_loads;
+};
+
+/// Replays each trace through `base.viewers_per_broadcast` HLS viewers
+/// under one shared regional blackout with per-edge capacity.
+/// Deterministic in (base.seed) at every thread count.
+CapacitySpillStats capacity_spill_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config);
 
 }  // namespace livesim::analysis
 

@@ -141,6 +141,37 @@ class EdgeServer {
   }
   std::uint64_t cache_flushes() const noexcept { return cache_flushes_; }
 
+  // --- capacity / attachment ledger ---
+  // Concurrent-viewer capacity (the "Fastly absorbs the flash crowd"
+  // knob). The ledger only counts; ADMISSION is enforced by the session
+  // layer's spill policy, and only for failed-over viewers — organic
+  // anycast joins are load-blind, exactly how IP anycast behaves, so an
+  // edge can sit above capacity from joins alone and then refuse spill
+  // traffic.
+
+  /// 0 (the default) = unbounded; nothing changes vs the pre-capacity
+  /// code, bit for bit.
+  void set_capacity(std::uint64_t cap) noexcept { capacity_ = cap; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  /// True when a finite capacity is met or exceeded: the spill policy
+  /// must overflow past this edge.
+  bool full() const noexcept {
+    return capacity_ != 0 && attached_ >= capacity_;
+  }
+  /// A viewer attached (join or failover admission).
+  void attach() noexcept {
+    ++attached_;
+    if (attached_ > peak_attached_) peak_attached_ = attached_;
+  }
+  /// A viewer detached (leave, migration away, or their PoP died).
+  void detach() noexcept {
+    if (attached_ > 0) --attached_;
+  }
+  std::uint64_t attached() const noexcept { return attached_; }
+  /// High-water mark of concurrent attachments — the hotspot ledger a
+  /// blackout pile-up shows up in.
+  std::uint64_t peak_attached() const noexcept { return peak_attached_; }
+
   /// Fault injection: the PoP dies (power event, regional blackout).
   /// While down the server is a dead socket — polls are dropped without a
   /// response (counted) and pending waiters are abandoned; clients detect
@@ -186,6 +217,9 @@ class EdgeServer {
   std::uint64_t fetch_failures_ = 0;
   std::uint64_t cache_flushes_ = 0;
   std::uint64_t egress_bytes_ = 0;
+  std::uint64_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t attached_ = 0;
+  std::uint64_t peak_attached_ = 0;
   DurationUs retry_backoff_ = 250 * time::kMillisecond;
   std::uint32_t max_attempts_ = 4;
 };

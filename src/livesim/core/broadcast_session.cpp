@@ -69,6 +69,7 @@ cdn::EdgeServer& BroadcastSession::edge_for(DatacenterId site) {
 
   auto edge = std::make_unique<cdn::EdgeServer>(sim_, site, std::move(fetch),
                                                 config_.resources);
+  edge->set_capacity(config_.edge_capacity);
   auto* ptr = edge.get();
   edges_.emplace(site.value, std::move(edge));
 
@@ -271,7 +272,7 @@ void BroadcastSession::on_edge_down(const fault::FaultEvent& e) {
       if (!v.active || !v.hls || v.orphaned) continue;
       const bool hit = std::find(dark.begin(), dark.end(),
                                  v.attachment.value) != dark.end();
-      if (hit) migrate_hls_viewer(v, now);
+      if (hit) migrate_hls_viewer(v, now, dark);
     }
   });
 }
@@ -285,9 +286,10 @@ void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
 
   // Anycast only lands on a live PoP: a regional event that took the
   // ingest AND its co-located edge dark must not migrate viewers onto
-  // another dead box.
-  const geo::Datacenter* live = nearest_live_edge(v.location, sim_.now());
-  if (live == nullptr) {
+  // another dead box. Failover admission respects edge capacity (spill
+  // policy), so a herd of migrating RTMP viewers overflows ring by ring.
+  const EdgeSelection sel = nearest_live_edge(v.location, sim_.now());
+  if (sel.dc == nullptr) {
     v.orphaned = true;
     ++orphaned_viewers_;
     return;  // playback freezes; result scoring charges the missing tail
@@ -296,7 +298,7 @@ void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
   ++rtmp_failovers_;
   v.failover_crash_at = crashed_at;
   v.failover_from_edge = false;
-  v.attachment = live->id;
+  admit_to_edge(v, sel);
 
   // Rebuild the last mile toward the edge (different distance).
   auto link_params = config_.viewer_last_mile;
@@ -322,17 +324,25 @@ void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
   start_hls_polling(v);
 }
 
-void BroadcastSession::migrate_hls_viewer(Viewer& v, TimeUs died_at) {
+void BroadcastSession::migrate_hls_viewer(
+    Viewer& v, TimeUs died_at, std::span<const std::uint64_t> exclude) {
   // Edge-to-edge failover: the viewer's PoP died; anycast re-routes them
-  // to the next-nearest live edge. The client flushes its pipeline a
+  // to the nearest live edge with admission headroom, overflowing ring
+  // by ring when nearer PoPs are full. The client flushes its pipeline a
   // second time (new pre-buffer), and the cold path to the new edge
   // shows up as the re-anchored first-chunk latency.
   ++v.generation;  // drop responses in flight from the dead attachment
   if (v.poll_process) v.poll_process->stop();
   v.poll_outstanding = false;
+  detach_from_edge(v);  // the dead PoP sheds its audience
 
-  const geo::Datacenter* live = nearest_live_edge(v.location, sim_.now());
-  if (live == nullptr) {
+  // `exclude` carries the triggering event's dark set (which contains
+  // this viewer's attachment): even if a site's down window lapsed
+  // during the detect window — or a second overlapping blackout
+  // re-killed it — the viewer never re-anycasts onto the PoP that just
+  // failed it.
+  const EdgeSelection sel = nearest_live_edge(v.location, sim_.now(), exclude);
+  if (sel.dc == nullptr) {
     v.orphaned = true;
     ++orphaned_viewers_;
     return;
@@ -341,7 +351,7 @@ void BroadcastSession::migrate_hls_viewer(Viewer& v, TimeUs died_at) {
   ++edge_failovers_;
   v.failover_crash_at = died_at;
   v.failover_from_edge = true;
-  v.attachment = live->id;
+  admit_to_edge(v, sel);
 
   auto link_params = config_.viewer_last_mile;
   const double km =
@@ -366,6 +376,7 @@ void BroadcastSession::rejoin_rtmp_viewer(Viewer& v) {
   ++v.generation;
   if (v.poll_process) v.poll_process->stop();
   v.poll_outstanding = false;
+  detach_from_edge(v);  // the HLS attachment is torn down
   v.hls = false;
   v.failover_crash_at = -1;  // any unfinished failover measurement is moot
   v.attachment = ingest_site_;
@@ -388,20 +399,63 @@ bool BroadcastSession::edge_site_down(std::uint64_t site,
   return it != edge_down_until_.end() && now < it->second;
 }
 
-const geo::Datacenter* BroadcastSession::nearest_live_edge(
-    const geo::GeoPoint& p, TimeUs now) const {
-  const geo::Datacenter* best = nullptr;
-  double best_km = std::numeric_limits<double>::infinity();
-  for (const auto& dc : catalog_.all()) {
-    if (dc.role != geo::CdnRole::kEdge) continue;
-    if (edge_site_down(dc.id.value, now)) continue;
-    const double km = geo::haversine_km(p, dc.location);
-    if (km < best_km) {
-      best_km = km;
-      best = &dc;
+BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
+    const geo::GeoPoint& p, TimeUs now,
+    std::span<const std::uint64_t> exclude, bool respect_capacity) const {
+  std::vector<DatacenterId> excl;
+  excl.reserve(exclude.size());
+  for (std::uint64_t site : exclude) excl.push_back(DatacenterId{site});
+
+  EdgeSelection sel;
+  double nearest_live_km = -1.0;  // first live candidate (full or not)
+  bool skipped_full = false;
+  for (const geo::Datacenter* dc : catalog_.k_nearest(
+           p, geo::CdnRole::kEdge, config_.failover_spill_k, excl)) {
+    if (edge_site_down(dc->id.value, now)) continue;
+    const double km = geo::haversine_km(p, dc->location);
+    if (nearest_live_km < 0.0) nearest_live_km = km;
+    if (respect_capacity) {
+      // Only instantiated edges carry load; an untouched catalog site
+      // has zero attachments and can never be full.
+      auto it = edges_.find(dc->id.value);
+      if (it != edges_.end() && it->second->full()) {
+        skipped_full = true;  // spill outward, ring by ring
+        continue;
+      }
     }
+    sel.dc = dc;
+    sel.distance_km = km;
+    sel.overshoot_km = km - nearest_live_km;
+    sel.spilled = skipped_full;
+    return sel;
   }
-  return best;
+  return sel;  // every candidate dark, excluded, or full
+}
+
+void BroadcastSession::admit_to_edge(Viewer& v, const EdgeSelection& sel) {
+  v.attachment = sel.dc->id;
+  edge_for(v.attachment).attach();
+  if (sel.spilled) {
+    ++edge_spills_;
+    spill_distance_km_.add(sel.overshoot_km);
+  }
+}
+
+void BroadcastSession::detach_from_edge(Viewer& v) {
+  // Only HLS viewers hold an edge attachment; the ledger lives on the
+  // instantiated EdgeServer (attachment always instantiated one).
+  if (auto it = edges_.find(v.attachment.value); it != edges_.end())
+    it->second->detach();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+BroadcastSession::edge_peak_loads() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(edges_.size());
+  for (const auto& [site, edge] : edges_)
+    out.emplace_back(site, edge->peak_attached());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
@@ -413,13 +467,17 @@ std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
 
   auto link_params = config_.viewer_last_mile;
   if (v->hls) {
-    // Anycast skips dark PoPs (a viewer joining mid-outage); with no
-    // outage this is exactly catalog_.nearest (same order, same
-    // tie-break), so fault-free runs are bit-identical.
-    const geo::Datacenter* live = nearest_live_edge(v->location, sim_.now());
-    v->attachment = live != nullptr
-                        ? live->id
+    // Anycast skips dark PoPs (a viewer joining mid-outage) but is
+    // load-blind — IP anycast does not know edge occupancy, so joins can
+    // push an edge past capacity; only failover admissions spill. With
+    // no outage this is exactly catalog_.nearest (same tie-break), so
+    // fault-free runs are bit-identical.
+    const EdgeSelection sel = nearest_live_edge(
+        v->location, sim_.now(), {}, /*respect_capacity=*/false);
+    v->attachment = sel.dc != nullptr
+                        ? sel.dc->id
                         : catalog_.nearest(v->location, geo::CdnRole::kEdge).id;
+    edge_for(v->attachment).attach();
   } else {
     // RTMP viewers always connect to the broadcaster's ingest site.
     v->attachment = ingest_site_;
@@ -464,6 +522,9 @@ void BroadcastSession::remove_viewer(std::size_t index) {
   if (!v.active) return;
   v.active = false;
   if (v.poll_process) v.poll_process->stop();
+  // Orphans already shed their (dead) attachment during the failed
+  // migration; detaching again would steal a slot from someone else.
+  if (v.hls && !v.orphaned) detach_from_edge(v);
 }
 
 void BroadcastSession::record_hls_chunk(Viewer& v, const media::Chunk& c,

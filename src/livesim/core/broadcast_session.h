@@ -14,7 +14,9 @@
 #define LIVESIM_CORE_BROADCAST_SESSION_H
 
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "livesim/cdn/resource_model.h"
@@ -85,6 +87,18 @@ struct SessionConfig {
   bool rtmp_rejoin_after_restart = false;
   /// Restart -> the app learns the ingest is back and re-attaches.
   DurationUs rtmp_rejoin_delay = 2 * time::kSecond;
+
+  /// Concurrent-viewer capacity applied to every EdgeServer this session
+  /// creates. 0 (default) = unbounded — failover degenerates to PR 3's
+  /// single-nearest-edge re-anycast, bit for bit. Finite values gate
+  /// *failover admissions only*: organic anycast joins are load-blind
+  /// (they still count toward load), so a popular edge can already be
+  /// over capacity when a blackout's herd arrives and refuse all of it.
+  std::uint64_t edge_capacity = 0;
+  /// How many candidate edges (by the (distance, id) ranking) a failover
+  /// may consider before orphaning: the spill rings. 0 = the entire
+  /// footprint.
+  std::uint32_t failover_spill_k = 0;
 
   std::uint64_t seed = 1;
 };
@@ -171,6 +185,19 @@ class BroadcastSession {
   /// Migrated RTMP viewers that re-attached to RTMP after the ingest
   /// restarted (rtmp_rejoin_after_restart).
   std::uint64_t rtmp_rejoins() const noexcept { return rtmp_rejoins_; }
+  /// Failover admissions that overflowed past at least one live-but-full
+  /// edge (edge_capacity): the viewer spilled outward to a farther ring.
+  std::uint64_t edge_spills() const noexcept { return edge_spills_; }
+  /// Per spill: extra kilometres past the nearest *live* edge the viewer
+  /// was pushed to (the load-aware re-anycast overshoot).
+  const stats::Accumulator& spill_distance_km() const noexcept {
+    return spill_distance_km_;
+  }
+  /// Peak concurrent attachments per edge site this session touched,
+  /// sorted by site id (deterministic) — where the blackout's herd piled
+  /// up.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_peak_loads()
+      const;
   /// HLS downloads discarded as corrupt (client re-fetches on next poll).
   std::uint64_t corrupted_downloads() const noexcept {
     return corrupted_downloads_;
@@ -243,6 +270,15 @@ class BroadcastSession {
     bool failover_from_edge = false;
   };
 
+  /// One failover/anycast admission decision by the spill policy.
+  struct EdgeSelection {
+    const geo::Datacenter* dc = nullptr;  // nullptr: every candidate
+                                          // was dark, excluded, or full
+    bool spilled = false;      // skipped >= 1 live-but-full nearer edge
+    double distance_km = 0.0;  // viewer -> admitted edge
+    double overshoot_km = 0.0; // admitted minus nearest-live distance
+  };
+
   cdn::EdgeServer& edge_for(DatacenterId site);
   void attach_rtmp_viewer(Viewer& v);
   void start_hls_polling(Viewer& v);
@@ -253,13 +289,26 @@ class BroadcastSession {
   void on_ingest_crash(const fault::FaultEvent& e);
   void on_edge_down(const fault::FaultEvent& e);
   void migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at);
-  void migrate_hls_viewer(Viewer& v, TimeUs died_at);
+  void migrate_hls_viewer(Viewer& v, TimeUs died_at,
+                          std::span<const std::uint64_t> exclude);
   void rejoin_rtmp_viewer(Viewer& v);
-  /// Nearest edge whose site is not inside a down window at `now`;
-  /// nullptr when every edge is dark. With no outages this is exactly
-  /// catalog_.nearest(p, kEdge) (same iteration order, same tie-break).
-  const geo::Datacenter* nearest_live_edge(const geo::GeoPoint& p,
-                                           TimeUs now) const;
+  void admit_to_edge(Viewer& v, const EdgeSelection& sel);
+  void detach_from_edge(Viewer& v);
+  /// The spill policy. Candidates of role kEdge ranked by (distance, id)
+  /// — the explicit catalog tie-break — truncated to
+  /// config_.failover_spill_k (0 = all). A candidate is passed over when
+  /// its id is in `exclude` (the PoP that just failed this viewer, plus
+  /// the triggering event's dark set — it must never be re-picked even
+  /// if its down window lapsed mid-detection), when its site is inside a
+  /// down window at `now`, or — if `respect_capacity` — when its
+  /// EdgeServer is full. The first survivor wins; `spilled` is set when
+  /// a nearer live candidate was skipped only for being full. With no
+  /// outages, no exclusions, and unlimited capacity this is exactly
+  /// catalog_.nearest(p, kEdge) (same tie-break), so fault-free runs are
+  /// bit-identical.
+  EdgeSelection nearest_live_edge(const geo::GeoPoint& p, TimeUs now,
+                                  std::span<const std::uint64_t> exclude = {},
+                                  bool respect_capacity = true) const;
   bool edge_site_down(std::uint64_t site, TimeUs now) const noexcept;
 
   sim::Simulator& sim_;
@@ -294,8 +343,10 @@ class BroadcastSession {
   std::uint64_t edge_failovers_ = 0;
   std::uint64_t orphaned_viewers_ = 0;
   std::uint64_t rtmp_rejoins_ = 0;
+  std::uint64_t edge_spills_ = 0;
   stats::Accumulator failover_latency_s_;
   stats::Accumulator edge_failover_latency_s_;
+  stats::Accumulator spill_distance_km_;
 
   // Measurement state.
   bool finalized_ = false;

@@ -178,6 +178,37 @@ std::size_t LivestreamService::inject_scenario(
   return ids.size();
 }
 
+std::uint64_t LivestreamService::edge_spills() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : broadcasts_) total += b->session->edge_spills();
+  return total;
+}
+
+stats::Accumulator LivestreamService::spill_distance_km() const {
+  // Merge in broadcast-id order so the merged accumulator (and any
+  // sampler it may grow) is independent of hash-map iteration order.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(broadcasts_.size());
+  for (const auto& [id, b] : broadcasts_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  stats::Accumulator out;
+  for (std::uint64_t id : ids)
+    out.merge(broadcasts_.at(id)->session->spill_distance_km());
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+LivestreamService::edge_peak_loads() const {
+  std::unordered_map<std::uint64_t, std::uint64_t> by_site;
+  for (const auto& [id, b] : broadcasts_)
+    for (const auto& [site, peak] : b->session->edge_peak_loads())
+      by_site[site] += peak;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out(by_site.begin(),
+                                                           by_site.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::optional<LivestreamService::BroadcastInfo> LivestreamService::info(
     BroadcastId id) const {
   auto it = broadcasts_.find(id.value);

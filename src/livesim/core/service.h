@@ -132,6 +132,25 @@ class LivestreamService {
     return comments_rejected_;
   }
 
+  // --- capacity / spill introspection (load-aware re-anycast) ---
+  // Aggregated over every broadcast the service has started (live or
+  // ended). Capacity knobs flow in via
+  // Config::session_defaults.edge_capacity / .failover_spill_k, so a
+  // scenario injected through inject_scenario() produces the hotspot
+  // pile-ups these ledgers expose.
+
+  /// Failover admissions that overflowed past a live-but-full edge.
+  std::uint64_t edge_spills() const;
+  /// Extra kilometres past the nearest live edge, per spill, merged
+  /// across broadcasts in id order (deterministic).
+  stats::Accumulator spill_distance_km() const;
+  /// Per edge site: summed per-broadcast peak concurrent attachments,
+  /// sorted by site id. An upper bound on the true simultaneous peak
+  /// (per-broadcast peaks need not coincide), and exactly the hotspot
+  /// ranking a blackout pile-up produces.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_peak_loads()
+      const;
+
  private:
   struct Broadcast {
     BroadcastInfo info;

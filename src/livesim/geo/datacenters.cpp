@@ -1,5 +1,6 @@
 #include "livesim/geo/datacenters.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -14,6 +15,13 @@ void DatacenterCatalog::add(std::string city, Continent cont, double lat,
   dc.location = GeoPoint{lat, lon};
   dc.role = role;
   dcs_.push_back(std::move(dc));
+}
+
+DatacenterId DatacenterCatalog::add_site(std::string city, Continent cont,
+                                         double lat, double lon,
+                                         CdnRole role) {
+  add(std::move(city), cont, lat, lon, role);
+  return dcs_.back().id;
 }
 
 DatacenterCatalog DatacenterCatalog::paper_footprint() {
@@ -84,12 +92,17 @@ std::vector<const Datacenter*> DatacenterCatalog::edge_sites() const {
 
 const Datacenter& DatacenterCatalog::nearest(const GeoPoint& p,
                                              CdnRole role) const {
+  // Explicit tie-break: (distance, id) lexicographic, so two equidistant
+  // sites resolve to the smaller id instead of whatever the iteration
+  // order happened to be. Iteration is in id order, so the strict `<`
+  // keeps the first (smallest-id) site of any tied group.
   const Datacenter* best = nullptr;
   double best_km = std::numeric_limits<double>::infinity();
   for (const auto& dc : dcs_) {
     if (dc.role != role) continue;
     const double km = haversine_km(p, dc.location);
-    if (km < best_km) {
+    if (km < best_km ||
+        (km == best_km && best != nullptr && dc.id.value < best->id.value)) {
       best_km = km;
       best = &dc;
     }
@@ -97,6 +110,34 @@ const Datacenter& DatacenterCatalog::nearest(const GeoPoint& p,
   if (best == nullptr)
     throw std::logic_error("DatacenterCatalog::nearest: no site of role");
   return *best;
+}
+
+std::vector<const Datacenter*> DatacenterCatalog::k_nearest(
+    const GeoPoint& p, CdnRole role, std::size_t k,
+    std::span<const DatacenterId> exclude) const {
+  std::vector<std::pair<double, const Datacenter*>> ranked;
+  ranked.reserve(dcs_.size());
+  for (const auto& dc : dcs_) {
+    if (dc.role != role) continue;
+    bool skip = false;
+    for (DatacenterId ex : exclude)
+      if (ex.value == dc.id.value) {
+        skip = true;
+        break;
+      }
+    if (skip) continue;
+    ranked.emplace_back(haversine_km(p, dc.location), &dc);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->id.value < b.second->id.value;
+            });
+  if (k != 0 && ranked.size() > k) ranked.resize(k);
+  std::vector<const Datacenter*> out;
+  out.reserve(ranked.size());
+  for (const auto& [km, dc] : ranked) out.push_back(dc);
+  return out;
 }
 
 const Datacenter* DatacenterCatalog::colocated_edge(DatacenterId ingest) const {

@@ -43,6 +43,12 @@ class DatacenterCatalog {
   /// A reduced single-region footprint, handy for unit tests.
   static DatacenterCatalog single_site();
 
+  /// Appends a site to the catalog (id = current size). Custom topologies
+  /// for tests and what-if footprints; the paper catalogs above are built
+  /// through the same path, so ids are always dense and insertion-ordered.
+  DatacenterId add_site(std::string city, Continent cont, double lat,
+                        double lon, CdnRole role);
+
   const std::vector<Datacenter>& all() const noexcept { return dcs_; }
   const Datacenter& get(DatacenterId id) const;
 
@@ -51,7 +57,19 @@ class DatacenterCatalog {
 
   /// Nearest datacenter of a role to a point (how Periscope assigns
   /// broadcasters to Wowza, and IP anycast assigns viewers to Fastly).
+  /// Tie-break: among equidistant sites the smallest DatacenterId wins —
+  /// the same rule k_nearest and every failover/spill path applies, so
+  /// anycast decisions are reproducible bit for bit.
   const Datacenter& nearest(const GeoPoint& p, CdnRole role) const;
+
+  /// The k nearest datacenters of a role, sorted by (distance, id) — the
+  /// explicit tie-break above, so the ordering is total and deterministic.
+  /// k == 0 means "all sites of the role". Sites whose id appears in
+  /// `exclude` are skipped before ranking (a failover must never
+  /// re-consider the PoP that just failed it).
+  std::vector<const Datacenter*> k_nearest(
+      const GeoPoint& p, CdnRole role, std::size_t k,
+      std::span<const DatacenterId> exclude = {}) const;
 
   /// Edge site co-located (same city) with the given ingest site, if any.
   /// Returns nullptr for the South-America exception.

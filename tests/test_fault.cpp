@@ -269,6 +269,43 @@ TEST(PollRetryState, SuccessResetsTheStreak) {
   EXPECT_EQ(retry.total_failures(), 4u);
 }
 
+// Audit pin: give-up is TERMINAL. Once the streak exhausts max_attempts,
+// later on_failure calls must stay nullopt without inflating
+// total_failures() (the ledger records real attempts, not post-mortem
+// noise) and without consuming RNG (a dead retry loop must not perturb
+// the caller's substream); on_success must not resurrect the streak or
+// un-give-up the client.
+TEST(PollRetryState, GiveUpIsTerminalAndDoesNotInflateTheLedger) {
+  client::PollRetryState::Params p;
+  p.max_attempts = 2;
+  client::PollRetryState retry(p);
+  Rng rng(9);
+
+  ASSERT_TRUE(retry.on_failure(time::kSecond, rng).has_value());
+  ASSERT_FALSE(retry.on_failure(2 * time::kSecond, rng).has_value());
+  ASSERT_TRUE(retry.gave_up());
+  EXPECT_EQ(retry.total_failures(), 2u);
+  EXPECT_EQ(retry.consecutive_failures(), 2u);
+
+  // Post-give-up failures: terminal, ledger frozen, RNG untouched.
+  Rng witness = rng;  // value copy: same state iff no draws happen
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(retry.on_failure((3 + i) * time::kSecond, rng).has_value());
+  EXPECT_EQ(retry.total_failures(), 2u);
+  EXPECT_EQ(retry.consecutive_failures(), 2u);
+  EXPECT_EQ(rng.next_u64(), witness.next_u64());
+
+  // A late success (a stale response finally arriving) must not revive
+  // the session or zero the streak that justified the give-up.
+  retry.on_success();
+  EXPECT_TRUE(retry.gave_up());
+  EXPECT_EQ(retry.consecutive_failures(), 2u);
+  EXPECT_EQ(retry.total_failures(), 2u);
+  // And the combination stays dead: success then failure, still nullopt.
+  EXPECT_FALSE(retry.on_failure(20 * time::kSecond, rng).has_value());
+  EXPECT_EQ(retry.total_failures(), 2u);
+}
+
 // --- Layer hooks -----------------------------------------------------
 
 TEST(FaultHooks, UplinkOutageDelaysDeliveryUntilRecovery) {

@@ -110,6 +110,72 @@ TEST(Catalog, NearestRespectsRole) {
   EXPECT_EQ(ingest.role, CdnRole::kIngest);
 }
 
+// Regression: equidistant sites used to resolve to whatever the
+// iteration order happened to be; the tie-break is now explicit —
+// (distance, id) lexicographic, smallest id wins — and shared by
+// nearest(), k_nearest(), and the session spill policy.
+TEST(Catalog, NearestBreaksExactTiesBySmallestId) {
+  DatacenterCatalog c;
+  using enum Continent;
+  // Two edge sites at the SAME coordinates: distances are identical bit
+  // patterns, not merely close, so the comparison truly ties.
+  const auto a = c.add_site("Twin A", kNorthAmerica, 40.0, -100.0,
+                            CdnRole::kEdge);
+  const auto b = c.add_site("Twin B", kNorthAmerica, 40.0, -100.0,
+                            CdnRole::kEdge);
+  ASSERT_LT(a.value, b.value);
+  const GeoPoint viewer{41.0, -101.0};
+  EXPECT_EQ(c.nearest(viewer, CdnRole::kEdge).id.value, a.value);
+  // A viewer exactly on top of the twins ties at 0 km.
+  EXPECT_EQ(c.nearest({40.0, -100.0}, CdnRole::kEdge).id.value, a.value);
+}
+
+TEST(Catalog, KNearestRanksByDistanceThenId) {
+  DatacenterCatalog c;
+  using enum Continent;
+  const auto far = c.add_site("Far", kNorthAmerica, 45.0, -90.0,
+                              CdnRole::kEdge);
+  const auto twin_b = c.add_site("Twin B", kNorthAmerica, 40.0, -100.0,
+                                 CdnRole::kEdge);
+  const auto twin_a = c.add_site("Twin A", kNorthAmerica, 40.0, -100.0,
+                                 CdnRole::kEdge);
+  c.add_site("Ingest", kNorthAmerica, 40.0, -100.0, CdnRole::kIngest);
+  const GeoPoint viewer{40.0, -100.0};
+
+  // Equidistant twins: the smaller id ranks first even though it was
+  // added later; the ingest site never appears for the edge role.
+  const auto all = c.k_nearest(viewer, CdnRole::kEdge, 0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->id.value, twin_b.value);  // twin_b has the smaller id
+  EXPECT_EQ(all[1]->id.value, twin_a.value);
+  EXPECT_EQ(all[2]->id.value, far.value);
+
+  // k truncates after ranking; k > size is the whole ranking.
+  EXPECT_EQ(c.k_nearest(viewer, CdnRole::kEdge, 1).size(), 1u);
+  EXPECT_EQ(c.k_nearest(viewer, CdnRole::kEdge, 99).size(), 3u);
+
+  // Excluded sites are removed BEFORE truncation, so k live candidates
+  // survive an exclusion of the nearest.
+  const DatacenterId excl[] = {twin_b};
+  const auto rest = c.k_nearest(viewer, CdnRole::kEdge, 2, excl);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0]->id.value, twin_a.value);
+  EXPECT_EQ(rest[1]->id.value, far.value);
+}
+
+TEST(Catalog, KNearestMatchesNearestOnTheFootprint) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  const GeoPoint probes[] = {{52.52, 13.40}, {34.42, -119.70},
+                             {-33.87, 151.21}, {1.35, 103.82}};
+  for (const auto& p : probes) {
+    for (CdnRole role : {CdnRole::kEdge, CdnRole::kIngest}) {
+      const auto ranked = c.k_nearest(p, role, 3);
+      ASSERT_FALSE(ranked.empty());
+      EXPECT_EQ(ranked[0]->id.value, c.nearest(p, role).id.value);
+    }
+  }
+}
+
 TEST(Catalog, GetRejectsBadId) {
   const auto c = DatacenterCatalog::paper_footprint();
   EXPECT_THROW(c.get(DatacenterId{9999}), std::out_of_range);

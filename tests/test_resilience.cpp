@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <vector>
 
 #include "livesim/analysis/resilience.h"
@@ -609,6 +610,293 @@ TEST(ScenarioInjection, ServiceSharesOneOutageAcrossLiveBroadcasts) {
   // One shared outage: every broadcast's two viewers re-anycast.
   EXPECT_EQ(failovers, 6u);
   EXPECT_EQ(orphans, 0u);
+}
+
+// --- 8. Per-edge capacity & the spill policy --------------------------
+
+// The projection the parity contract compares: exactly the fields both
+// experiment types share, mixed identically on both sides.
+std::uint64_t fingerprint_common(const stats::Sampler& stall,
+                                 const stats::Sampler& latency,
+                                 const analysis::RegionalOutageCounters& c,
+                                 std::size_t dark_edges) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, fingerprint(stall));
+  h = mix(h, fingerprint(latency));
+  h = mix(h, c.viewers);
+  h = mix(h, c.affected);
+  h = mix(h, c.failovers);
+  h = mix(h, c.orphaned);
+  h = mix(h, static_cast<std::uint64_t>(dark_edges));
+  return h;
+}
+
+std::uint64_t fingerprint(const analysis::CapacitySpillStats& r) {
+  std::uint64_t h = fingerprint_common(r.stall_ratio, r.failover_latency_s,
+                                       r.counters, r.dark_edges);
+  h = mix(h, r.edge_spills);
+  h = mix(h, r.capacity_orphans);
+  h = mix(h, r.spill_overshoot_km.count());
+  h = mix_double(h, r.spill_overshoot_km.sum());
+  for (const auto& [site, peak] : r.edge_peak_loads) {
+    h = mix(h, site);
+    h = mix(h, peak);
+  }
+  return h;
+}
+
+// The PR 3 parity contract: edge_capacity == 0 must reproduce the
+// single-nearest-edge regional experiment bit for bit — same samples in
+// the same order, same counters — with the spill ledgers empty.
+TEST(CapacitySpill, InfiniteCapacityReproducesRegionalExperimentBitForBit) {
+  const auto traces = small_trace_set(1);
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  for (double radius : {0.0, 3000.0}) {
+    analysis::CapacitySpillConfig ccfg;  // edge_capacity defaults to 0
+    ccfg.base.radius_km = radius;
+    ccfg.base.seed = 77;
+    const auto reg =
+        analysis::regional_resilience_experiment(traces, catalog, ccfg.base);
+    const auto cap =
+        analysis::capacity_spill_experiment(traces, catalog, ccfg);
+    EXPECT_EQ(fingerprint_common(reg.stall_ratio, reg.failover_latency_s,
+                                 reg.counters, reg.dark_edges),
+              fingerprint_common(cap.stall_ratio, cap.failover_latency_s,
+                                 cap.counters, cap.dark_edges))
+        << "parity broke at radius " << radius;
+    EXPECT_EQ(cap.edge_spills, 0u);
+    EXPECT_EQ(cap.capacity_orphans, 0u);
+    EXPECT_TRUE(cap.spill_overshoot_km.empty());
+    // The load ledger still ran: anycast joins count even when nothing
+    // spills.
+    EXPECT_FALSE(cap.edge_peak_loads.empty());
+  }
+}
+
+// The acceptance contract: a finite-capacity zero-radius outage spills
+// deterministically ring by ring — byte-identical at threads {1, 2, 8}.
+TEST(CapacitySpill, FiniteCapacityByteIdenticalAtThreads128) {
+  const auto traces = small_trace_set(1);
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  analysis::CapacitySpillConfig cfg;
+  cfg.base.radius_km = 0.0;
+  cfg.base.seed = 77;
+  cfg.edge_capacity = 25;
+
+  cfg.base.threads = 1;
+  const auto r1 = analysis::capacity_spill_experiment(traces, catalog, cfg);
+  ASSERT_GT(r1.counters.affected, 0u);
+  ASSERT_GT(r1.edge_spills, 0u);  // the capacity actually bit
+
+  for (unsigned threads : {2u, 8u}) {
+    cfg.base.threads = threads;
+    const auto rn = analysis::capacity_spill_experiment(traces, catalog, cfg);
+    EXPECT_EQ(fingerprint(r1), fingerprint(rn))
+        << "capacity-spill run diverged at threads=" << threads;
+  }
+
+  // Conservation: every affected viewer re-anycasts or orphans; every
+  // spill recorded exactly one overshoot sample; capacity orphans are a
+  // subset of orphans.
+  EXPECT_EQ(r1.counters.failovers + r1.counters.orphaned,
+            r1.counters.affected);
+  EXPECT_EQ(r1.spill_overshoot_km.count(), r1.edge_spills);
+  EXPECT_LE(r1.capacity_orphans, r1.counters.orphaned);
+  EXPECT_GE(r1.spill_overshoot_km.min(), 0.0);
+}
+
+// Event-level spill: six co-located viewers, capacity two, their PoP
+// dies. Two land on the nearest live edge; four must overflow outward,
+// ring by ring, each paying a positive overshoot.
+TEST(CapacitySpill, SessionSpillsRingByRingPastFullEdges) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 6;
+  cfg.global_viewers = false;
+  cfg.broadcaster_location = {37.77, -122.42};  // San Francisco
+  cfg.edge_capacity = 2;
+  cfg.seed = 5;
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 15 * time::kSecond;
+  spec.center = cfg.broadcaster_location;
+  spec.radius_km = 0.0;
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  cfg.faults = scenario.expand(catalog, cfg.seed);
+  const std::uint64_t dead_site = cfg.faults.events()[0].target;
+
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  EXPECT_EQ(session.edge_failovers(), cfg.hls_viewers);
+  EXPECT_EQ(session.orphaned_viewers(), 0u);
+  EXPECT_EQ(session.edge_spills(), 4u);
+  ASSERT_EQ(session.spill_distance_km().count(), 4u);
+  // No live edge is co-located with the dead SF PoP, so every spill
+  // overshoots a real distance.
+  EXPECT_GT(session.spill_distance_km().min(), 0.0);
+
+  // Capacity held: at most two admissions per live edge, and the dead
+  // site kept nobody.
+  std::unordered_map<std::uint64_t, unsigned> admitted;
+  for (const auto& v : session.viewer_results()) {
+    EXPECT_NE(v.attachment.value, dead_site);
+    admitted[v.attachment.value] += 1;
+  }
+  EXPECT_EQ(admitted.size(), 3u);  // three rings of two
+  for (const auto& [site, n] : admitted) EXPECT_EQ(n, 2u);
+
+  // The hotspot ledger: the dead SF site peaked at all six joins (joins
+  // are load-blind), every other site at its two admissions.
+  for (const auto& [site, peak] : session.edge_peak_loads())
+    EXPECT_EQ(peak, site == dead_site ? 6u : 2u);
+}
+
+// With capacity 0 (unbounded) the spill ledgers must stay empty even
+// through a real blackout — the pre-capacity behaviour, bit for bit.
+TEST(CapacitySpill, UnboundedCapacityNeverSpills) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 6;
+  cfg.global_viewers = false;
+  cfg.broadcaster_location = {37.77, -122.42};
+  ASSERT_EQ(cfg.edge_capacity, 0u);  // the default is unbounded
+  cfg.seed = 5;
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 15 * time::kSecond;
+  spec.center = cfg.broadcaster_location;
+  spec.radius_km = 0.0;
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  cfg.faults = scenario.expand(catalog, cfg.seed);
+
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  EXPECT_EQ(session.edge_failovers(), cfg.hls_viewers);
+  EXPECT_EQ(session.edge_spills(), 0u);
+  EXPECT_TRUE(session.spill_distance_km().empty());
+  // Everyone piles onto the single nearest live edge.
+  std::unordered_map<std::uint64_t, unsigned> admitted;
+  for (const auto& v : session.viewer_results())
+    admitted[v.attachment.value] += 1;
+  EXPECT_EQ(admitted.size(), 1u);
+}
+
+// Regression (the mid-detection re-assignment bug): blackout A dies
+// before the detect window ends, so at detection time the dead PoP's
+// down-horizon has lapsed — the old nearest-live check would re-assign
+// the viewers straight back to it, and the overlapping blackout B would
+// kill them again. The event's dark set is now an explicit exclusion, so
+// the viewers land elsewhere on the FIRST failover.
+TEST(CapacitySpill, FlappingPoPIsExcludedFromItsOwnFailover) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::SessionConfig cfg;
+  cfg.broadcast_len = 60 * time::kSecond;
+  cfg.rtmp_viewers = 0;
+  cfg.hls_viewers = 4;
+  cfg.global_viewers = false;
+  cfg.broadcaster_location = {37.77, -122.42};
+  cfg.seed = 5;
+  ASSERT_EQ(cfg.failover_detect_timeout, 2 * time::kSecond);
+
+  fault::FaultScenario scenario;
+  fault::RegionalBlackoutSpec a;       // flap: down 1 s, back up BEFORE
+  a.at = 20 * time::kSecond;           // the 2 s detect window elapses
+  a.duration = 1 * time::kSecond;
+  a.center = cfg.broadcaster_location;
+  a.radius_km = 0.0;
+  scenario.add(a);
+  fault::RegionalBlackoutSpec b = a;   // the second, overlapping blackout
+  b.at = 22500 * time::kMillisecond;   // re-kills the PoP right after
+  b.duration = 10 * time::kSecond;     // detection fired at t=22 s
+  scenario.add(b);
+  cfg.faults = scenario.expand(catalog, cfg.seed);
+  const std::uint64_t flapping_site = cfg.faults.events()[0].target;
+
+  core::BroadcastSession session(sim, catalog, cfg);
+  session.start();
+  sim.run();
+  session.finalize();
+
+  // Exactly ONE failover per viewer: nobody bounced back to the flapping
+  // PoP only to be re-killed by blackout B.
+  EXPECT_EQ(session.edge_failovers(), cfg.hls_viewers);
+  EXPECT_EQ(session.orphaned_viewers(), 0u);
+  for (const auto& v : session.viewer_results()) {
+    EXPECT_FALSE(v.orphaned);
+    EXPECT_NE(v.attachment.value, flapping_site);
+  }
+}
+
+// Service-level wiring: inject_scenario + session_defaults.edge_capacity
+// produce per-broadcast pile-ups that the service ledgers aggregate.
+TEST(CapacitySpill, ServiceAggregatesSpillLedgersAcrossBroadcasts) {
+  sim::Simulator sim;
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+  core::LivestreamService::Config cfg;
+  cfg.rtmp_slot_cap = 0;  // every joiner lands on HLS
+  cfg.session_defaults.broadcast_len = 60 * time::kSecond;
+  cfg.session_defaults.edge_capacity = 1;
+  cfg.seed = 31;
+  core::LivestreamService service(sim, catalog, cfg);
+
+  const geo::GeoPoint sf{37.77, -122.42};
+  std::vector<BroadcastId> ids;
+  for (int b = 0; b < 3; ++b) {
+    ids.push_back(service.start_broadcast(sf, 60 * time::kSecond));
+    for (int v = 0; v < 2; ++v) ASSERT_TRUE(service.join(ids.back(), sf));
+  }
+  ASSERT_EQ(service.edge_spills(), 0u);  // joins are load-blind
+
+  fault::RegionalBlackoutSpec spec;
+  spec.at = 20 * time::kSecond;
+  spec.duration = 15 * time::kSecond;
+  spec.center = sf;
+  spec.radius_km = 0.0;
+  fault::FaultScenario scenario;
+  scenario.add(spec);
+  ASSERT_EQ(service.inject_scenario(scenario, cfg.seed), ids.size());
+
+  sim.run();
+  std::uint64_t failovers = 0;
+  for (BroadcastId id : ids) {
+    core::BroadcastSession* s = service.session(id);
+    ASSERT_NE(s, nullptr);
+    s->finalize();
+    failovers += s->edge_failovers();
+    // Capacity 1 per session: one viewer takes the nearest live edge,
+    // the other spills past it.
+    EXPECT_EQ(s->edge_spills(), 1u);
+  }
+  EXPECT_EQ(failovers, 6u);
+  EXPECT_EQ(service.edge_spills(), 3u);
+  EXPECT_EQ(service.spill_distance_km().count(), 3u);
+  EXPECT_GT(service.spill_distance_km().min(), 0.0);
+  // Aggregated hotspot ledger: the dead SF site summed its three
+  // per-broadcast peaks of two joins each.
+  const std::uint64_t dead_site =
+      catalog.nearest(sf, geo::CdnRole::kEdge).id.value;
+  bool found = false;
+  for (const auto& [site, peak] : service.edge_peak_loads())
+    if (site == dead_site) {
+      found = true;
+      EXPECT_EQ(peak, 6u);
+    }
+  EXPECT_TRUE(found);
 }
 
 TEST(Failover, CorruptionWindowCountsDiscardedDownloads) {
