@@ -26,7 +26,9 @@ bool Simulator::cancel(EventId id) {
   return true;
 }
 
-bool Simulator::pop_one() {
+const Simulator::Entry* Simulator::peek() {
+  // Drain tombstoned (cancelled) entries off the top so the caller sees
+  // the earliest event that will actually fire, or nullptr if none.
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
     if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
@@ -34,16 +36,22 @@ bool Simulator::pop_one() {
       heap_.pop();
       continue;
     }
-    // Move the callback out before popping so it may schedule/cancel freely.
-    EventFn fn = std::move(const_cast<Entry&>(top).fn);
-    now_ = top.time;
-    pending_ids_.erase(top.seq);
-    heap_.pop();
-    ++processed_;
-    fn();
-    return true;
+    return &top;
   }
-  return false;
+  return nullptr;
+}
+
+bool Simulator::pop_one() {
+  const Entry* top = peek();
+  if (top == nullptr) return false;
+  // Move the callback out before popping so it may schedule/cancel freely.
+  EventFn fn = std::move(const_cast<Entry*>(top)->fn);
+  now_ = top->time;
+  pending_ids_.erase(top->seq);
+  heap_.pop();
+  ++processed_;
+  fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -52,18 +60,8 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(TimeUs t) {
-  for (;;) {
-    // Skip tombstones to see the real next event time.
-    while (!heap_.empty()) {
-      const Entry& top = heap_.top();
-      if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        heap_.pop();
-        continue;
-      }
-      break;
-    }
-    if (heap_.empty() || heap_.top().time > t) break;
+  for (const Entry* top = peek(); top != nullptr && top->time <= t;
+       top = peek()) {
     pop_one();
   }
   if (now_ < t) now_ = t;

@@ -67,6 +67,10 @@ class Simulator {
     }
   };
 
+  // Discards tombstoned entries off the top of the heap and returns the
+  // earliest live entry, or nullptr when no event remains. Shared by
+  // pop_one and run_until so the skip policy exists exactly once.
+  const Entry* peek();
   bool pop_one();  // runs the earliest non-cancelled event, if any
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
