@@ -1,0 +1,232 @@
+// Engine macro-benchmark: the tracked perf baseline for the event engine.
+//
+// Runs three workload mixes straight against sim::Simulator and reports
+// events/sec, ns/event, and peak RSS, then writes the results to a JSON
+// file (BENCH_engine.json by default) so CI can archive the numbers and
+// a future engine change can be compared against a recorded baseline.
+//
+//   schedule_run   -- schedule N events at pseudo-random times, drain.
+//                     The pure scheduling + dispatch hot path.
+//   cancel_heavy   -- schedule N, cancel every other handle, drain.
+//                     The O(1)-cancel + indexed-heap-splice path
+//                     (retransmit-timer-style workloads).
+//   periodic_heavy -- K PeriodicProcesses ticking through T of simulated
+//                     time. The re-arm-in-place fast path.
+//
+// Each mix runs `reps` times. Wall-clock numbers come from the fastest
+// rep (least scheduler noise); every rep also folds its observable firing
+// order into an FNV-1a fingerprint, and all reps must agree -- the
+// "fingerprint=... identical: yes" contract lines below are grepped by
+// CI exactly like the resilience determinism contracts.
+//
+// Usage: bench_engine_baseline [out.json] [n_events] [reps]
+//        defaults: BENCH_engine.json 1000000 3
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "livesim/sim/simulator.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+using namespace livesim;
+
+struct FnvMixer {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+};
+
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) return ru.ru_maxrss;
+#endif
+  return 0;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct MixResult {
+  const char* name = "";
+  std::uint64_t events = 0;     // events actually dispatched per rep
+  std::uint64_t best_ns = 0;    // fastest rep, wall clock
+  std::uint64_t fingerprint = 0;
+  bool deterministic = true;    // all reps fingerprinted identically
+  double ns_per_event() const {
+    return events > 0 ? static_cast<double>(best_ns) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+  double events_per_sec() const {
+    return best_ns > 0 ? static_cast<double>(events) * 1e9 /
+                             static_cast<double>(best_ns)
+                       : 0.0;
+  }
+};
+
+// schedule_run: the BM_EventQueueScheduleRun shape, at macro scale.
+std::uint64_t run_schedule_mix(std::size_t n, FnvMixer& fp,
+                               std::uint64_t* dispatched) {
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  const std::uint64_t t0 = now_ns();
+  for (std::size_t i = 0; i < n; ++i)
+    sim.schedule_at(static_cast<TimeUs>((i * 7919) % 262144),
+                    [&sink] { ++sink; });
+  sim.run();
+  const std::uint64_t elapsed = now_ns() - t0;
+  fp.mix(sink);
+  fp.mix(static_cast<std::uint64_t>(sim.now()));
+  fp.mix(sim.events_processed());
+  *dispatched = sim.events_processed();
+  return elapsed;
+}
+
+// cancel_heavy: arm n timers, defuse every other one, drain the rest.
+std::uint64_t run_cancel_mix(std::size_t n, FnvMixer& fp,
+                             std::uint64_t* dispatched) {
+  sim::Simulator sim;
+  std::vector<sim::EventHandle> handles(n);
+  std::uint64_t sink = 0;
+  const std::uint64_t t0 = now_ns();
+  for (std::size_t i = 0; i < n; ++i)
+    handles[i] = sim.schedule_at(static_cast<TimeUs>((i * 7919) % 262144),
+                                 [&sink] { ++sink; });
+  std::uint64_t cancelled = 0;
+  for (std::size_t i = 0; i < n; i += 2)
+    cancelled += sim.cancel(handles[i]) ? 1u : 0u;
+  sim.run();
+  const std::uint64_t elapsed = now_ns() - t0;
+  fp.mix(sink);
+  fp.mix(cancelled);
+  fp.mix(static_cast<std::uint64_t>(sim.now()));
+  fp.mix(sim.events_processed());
+  // Every schedule and every cancel is engine work: count them all.
+  *dispatched = sim.events_processed() + cancelled;
+  return elapsed;
+}
+
+// periodic_heavy: k processes x enough ticks to total ~n firings.
+std::uint64_t run_periodic_mix(std::size_t n, FnvMixer& fp,
+                               std::uint64_t* dispatched) {
+  sim::Simulator sim;
+  constexpr std::size_t kProcs = 64;
+  const auto horizon =
+      static_cast<TimeUs>(n / kProcs) * 10;  // interval 10us each
+  std::uint64_t sink = 0;
+  std::vector<std::unique_ptr<sim::PeriodicProcess>> procs;
+  procs.reserve(kProcs);
+  const std::uint64_t t0 = now_ns();
+  for (std::size_t p = 0; p < kProcs; ++p)
+    procs.push_back(std::make_unique<sim::PeriodicProcess>(
+        sim, static_cast<TimeUs>(p), 10,
+        [&sink](sim::PeriodicProcess&) { ++sink; }));
+  sim.run_until(horizon);
+  for (auto& p : procs) p->stop();
+  const std::uint64_t elapsed = now_ns() - t0;
+  fp.mix(sink);
+  fp.mix(static_cast<std::uint64_t>(sim.now()));
+  fp.mix(sim.events_processed());
+  *dispatched = sim.events_processed();
+  return elapsed;
+}
+
+template <typename MixFn>
+MixResult measure(const char* name, std::size_t n, int reps, MixFn mix) {
+  MixResult r;
+  r.name = name;
+  r.best_ns = ~0ULL;
+  std::uint64_t first_fp = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    FnvMixer fp;
+    std::uint64_t dispatched = 0;
+    const std::uint64_t ns = mix(n, fp, &dispatched);
+    if (ns < r.best_ns) r.best_ns = ns;
+    r.events = dispatched;
+    if (rep == 0) {
+      first_fp = fp.h;
+    } else if (fp.h != first_fp) {
+      r.deterministic = false;
+    }
+  }
+  r.fingerprint = first_fp;
+  std::printf(
+      "engine_baseline mix=%s events=%" PRIu64 " ns_per_event=%.1f"
+      " events_per_sec=%.0f fingerprint=%016" PRIx64 " identical: %s\n",
+      r.name, r.events, r.ns_per_event(), r.events_per_sec(), r.fingerprint,
+      r.deterministic ? "yes" : "NO -- BUG");
+  return r;
+}
+
+void write_json(const char* path, const std::vector<MixResult>& mixes,
+                std::size_t n, int reps) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"engine_baseline\",\n");
+  std::fprintf(f, "  \"n_events\": %zu,\n  \"reps\": %d,\n", n, reps);
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", peak_rss_kb());
+  std::fprintf(f, "  \"mixes\": [\n");
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const MixResult& m = mixes[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %" PRIu64
+                 ", \"ns_per_event\": %.1f, \"events_per_sec\": %.0f,"
+                 " \"fingerprint\": \"%016" PRIx64
+                 "\", \"deterministic\": %s}%s\n",
+                 m.name, m.events, m.ns_per_event(), m.events_per_sec(),
+                 m.fingerprint, m.deterministic ? "true" : "false",
+                 i + 1 < mixes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  const std::size_t n =
+      argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
+               : 1000000;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  if (n == 0 || reps <= 0) {
+    std::fprintf(stderr,
+                 "usage: bench_engine_baseline [out.json] [n_events] [reps]\n");
+    return 1;
+  }
+
+  std::printf("== Engine perf baseline (n=%zu, reps=%d) ==\n", n, reps);
+  std::vector<MixResult> mixes;
+  mixes.push_back(measure("schedule_run", n, reps, run_schedule_mix));
+  mixes.push_back(measure("cancel_heavy", n, reps, run_cancel_mix));
+  mixes.push_back(measure("periodic_heavy", n, reps, run_periodic_mix));
+  std::printf("peak_rss_kb=%ld\n", peak_rss_kb());
+
+  bool all_deterministic = true;
+  for (const MixResult& m : mixes) all_deterministic &= m.deterministic;
+  std::printf("engine_baseline all mixes deterministic: %s\n",
+              all_deterministic ? "yes" : "NO -- BUG");
+
+  write_json(out, mixes, n, reps);
+  std::printf("wrote %s\n", out);
+  return all_deterministic ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 // how large a simulation the library can drive per wall-second.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "livesim/media/encoder.h"
 #include "livesim/protocol/rtmp.h"
 #include "livesim/security/sha256.h"
@@ -28,6 +30,28 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// Cancel-heavy mix: schedule N, cancel every other one through its handle,
+// then drain. Exercises the O(1) handle validation plus the indexed heap
+// splice -- the path timer-wheel-style workloads (retransmit timers armed
+// and almost always cancelled) live on.
+void BM_EventQueueScheduleCancelRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventHandle> handles(n);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      handles[i] = sim.schedule_at(static_cast<TimeUs>((i * 7919) % 100000),
+                                   [&sink] { ++sink; });
+    for (std::size_t i = 0; i < n; i += 2) sim.cancel(handles[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleCancelRun)->Arg(1000)->Arg(100000);
 
 void BM_Sha256Throughput(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));

@@ -24,7 +24,8 @@ cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   || fail "configure with -fsanitize=thread did not succeed (compiler without TSan support?)"
 
-cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests -j \
+cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests \
+      livesim_engine_alloc_tests -j \
   || fail "sanitized build did not succeed"
 
 [ -x "$BUILD"/tests/livesim_tests ] \
@@ -33,8 +34,15 @@ cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests -j \
 # The pool/shard layer plus the event-queue semantics it leans on. Any
 # TSan report makes the binary exit non-zero (abort_on_error).
 TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
-  "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*' \
+  "$BUILD"/tests/livesim_tests --gtest_filter='ParallelRunner*:ParallelMap*:ParallelForShards*:ThreadPool*:ShardRanges*:SubstreamSeed*:Simulator*:SimulatorProperty*:PeriodicProcess*:EngineCancel*:EngineReschedule*:InplaceFunctionTest*' \
   || fail "data race or test failure in the parallel runner / simulator suites"
+
+# The slot-arena engine's allocation-free contract, with the global
+# operator-new hook active under TSan as well (the hook itself must not
+# race).
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_engine_alloc_tests \
+  || fail "data race or test failure in the engine allocation-contract suite"
 
 # The resilience experiments (randomized sweep AND the regional-outage
 # sweep) shard fault-injected broadcasts over the same pool; their
@@ -43,4 +51,4 @@ TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*:RegionalDeterminism*:ScenarioExpansion*' \
   || fail "data race or test failure in the resilience determinism suites"
 
-echo "TSan check passed: no data races in the parallel runner, simulator, or resilience experiment."
+echo "TSan check passed: no data races in the parallel runner, simulator, engine, or resilience experiment."

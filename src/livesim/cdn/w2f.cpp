@@ -7,7 +7,7 @@ namespace livesim::cdn {
 const geo::Datacenter& W2FModel::gateway_for(DatacenterId ingest) const {
   if (const auto* co = catalog_.colocated_edge(ingest); co != nullptr)
     return *co;
-  return catalog_.nearest(catalog_.get(ingest).location, geo::CdnRole::kEdge);
+  return catalog_.nearest(ingest, geo::CdnRole::kEdge);
 }
 
 DurationUs W2FModel::sample_transfer(DatacenterId ingest, DatacenterId edge,

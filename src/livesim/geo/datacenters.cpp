@@ -15,6 +15,17 @@ void DatacenterCatalog::add(std::string city, Continent cont, double lat,
   dc.location = GeoPoint{lat, lon};
   dc.role = role;
   dcs_.push_back(std::move(dc));
+  rebuild_distance_cache();
+}
+
+void DatacenterCatalog::rebuild_distance_cache() {
+  // O(n^2) per add, but catalogs are tens of sites built once; every
+  // query afterwards is a cache read.
+  const std::size_t n = dcs_.size();
+  dist_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dist_[i * n + j] = haversine_km(dcs_[i].location, dcs_[j].location);
 }
 
 DatacenterId DatacenterCatalog::add_site(std::string city, Continent cont,
@@ -112,6 +123,26 @@ const Datacenter& DatacenterCatalog::nearest(const GeoPoint& p,
   return *best;
 }
 
+const Datacenter& DatacenterCatalog::nearest(DatacenterId from,
+                                             CdnRole role) const {
+  const Datacenter& origin = get(from);
+  const double* row = distance_row(origin.id);
+  const Datacenter* best = nullptr;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& dc : dcs_) {
+    if (dc.role != role) continue;
+    const double km = row[dc.id.value];
+    if (km < best_km ||
+        (km == best_km && best != nullptr && dc.id.value < best->id.value)) {
+      best_km = km;
+      best = &dc;
+    }
+  }
+  if (best == nullptr)
+    throw std::logic_error("DatacenterCatalog::nearest: no site of role");
+  return *best;
+}
+
 std::vector<const Datacenter*> DatacenterCatalog::k_nearest(
     const GeoPoint& p, CdnRole role, std::size_t k,
     std::span<const DatacenterId> exclude) const {
@@ -140,6 +171,36 @@ std::vector<const Datacenter*> DatacenterCatalog::k_nearest(
   return out;
 }
 
+std::vector<const Datacenter*> DatacenterCatalog::k_nearest(
+    DatacenterId from, CdnRole role, std::size_t k,
+    std::span<const DatacenterId> exclude) const {
+  const Datacenter& origin = get(from);
+  const double* row = distance_row(origin.id);
+  std::vector<std::pair<double, const Datacenter*>> ranked;
+  ranked.reserve(dcs_.size());
+  for (const auto& dc : dcs_) {
+    if (dc.role != role) continue;
+    bool skip = false;
+    for (DatacenterId ex : exclude)
+      if (ex.value == dc.id.value) {
+        skip = true;
+        break;
+      }
+    if (skip) continue;
+    ranked.emplace_back(row[dc.id.value], &dc);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second->id.value < b.second->id.value;
+            });
+  if (k != 0 && ranked.size() > k) ranked.resize(k);
+  std::vector<const Datacenter*> out;
+  out.reserve(ranked.size());
+  for (const auto& [km, dc] : ranked) out.push_back(dc);
+  return out;
+}
+
 const Datacenter* DatacenterCatalog::colocated_edge(DatacenterId ingest) const {
   const Datacenter& in = get(ingest);
   for (const auto& dc : dcs_) {
@@ -149,7 +210,9 @@ const Datacenter* DatacenterCatalog::colocated_edge(DatacenterId ingest) const {
 }
 
 double DatacenterCatalog::distance_km(DatacenterId a, DatacenterId b) const {
-  return haversine_km(get(a).location, get(b).location);
+  get(a);  // bounds checks, same failure mode as the uncached version
+  get(b);
+  return distance_row(a)[b.value];
 }
 
 const std::vector<UserGeoSampler::Region>& UserGeoSampler::regions() {

@@ -62,6 +62,13 @@ class DatacenterCatalog {
   /// anycast decisions are reproducible bit for bit.
   const Datacenter& nearest(const GeoPoint& p, CdnRole role) const;
 
+  /// Site-keyed variant: nearest datacenter of a role to another catalog
+  /// site, answered from the precomputed pairwise-distance cache (no
+  /// haversine evaluation). Same (distance, id) tie-break, and the cached
+  /// distances are the very doubles the point-keyed overload computes, so
+  /// both overloads always agree bit for bit.
+  const Datacenter& nearest(DatacenterId from, CdnRole role) const;
+
   /// The k nearest datacenters of a role, sorted by (distance, id) — the
   /// explicit tie-break above, so the ordering is total and deterministic.
   /// k == 0 means "all sites of the role". Sites whose id appears in
@@ -71,18 +78,34 @@ class DatacenterCatalog {
       const GeoPoint& p, CdnRole role, std::size_t k,
       std::span<const DatacenterId> exclude = {}) const;
 
+  /// Site-keyed variant of k_nearest, served from the distance cache.
+  std::vector<const Datacenter*> k_nearest(
+      DatacenterId from, CdnRole role, std::size_t k,
+      std::span<const DatacenterId> exclude = {}) const;
+
   /// Edge site co-located (same city) with the given ingest site, if any.
   /// Returns nullptr for the South-America exception.
   const Datacenter* colocated_edge(DatacenterId ingest) const;
 
-  /// Distance between two catalog datacenters in km.
+  /// Distance between two catalog datacenters in km. Served from the
+  /// pairwise cache: failover storms rank candidate sites over and over,
+  /// and the catalog is immutable between add_site calls, so every
+  /// site-to-site distance is computed exactly once per topology.
   double distance_km(DatacenterId a, DatacenterId b) const;
 
  private:
   void add(std::string city, Continent cont, double lat, double lon,
            CdnRole role);
+  void rebuild_distance_cache();
+  const double* distance_row(DatacenterId from) const {
+    return dist_.data() + from.value * dcs_.size();
+  }
 
   std::vector<Datacenter> dcs_;
+  // Row-major n x n matrix of haversine_km over ordered site pairs,
+  // rebuilt on add(). Ordered (not just symmetric) so dist_[a][b] is the
+  // bit-exact double haversine_km(a.location, b.location) would return.
+  std::vector<double> dist_;
 };
 
 /// Random user-location sampler weighted by the paper-era user base:

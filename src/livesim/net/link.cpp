@@ -18,7 +18,7 @@ DurationUs Link::sample_delay(std::size_t bytes) {
   return d > 0 ? d : 1;
 }
 
-DurationUs Link::send(std::size_t bytes, std::function<void()> on_arrival) {
+DurationUs Link::send(std::size_t bytes, sim::EventFn on_arrival) {
   if (params_.loss_rate > 0.0 && rng_.bernoulli(params_.loss_rate)) return -1;
   const DurationUs d = sample_delay(bytes);
   sim_.schedule_in(d, std::move(on_arrival));
@@ -73,8 +73,7 @@ void FifoUplink::inject_outage(DurationUs duration) {
   if (end > next_free_) next_free_ = end;
 }
 
-TimeUs FifoUplink::send(std::size_t bytes,
-                        std::function<void(TimeUs)> on_arrival) {
+TimeUs FifoUplink::send(std::size_t bytes, ArrivalFn on_arrival) {
   const TimeUs now = sim_.now();
   TimeUs depart = next_free_ > now ? next_free_ : now;
   maybe_advance_outages(depart);

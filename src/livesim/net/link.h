@@ -12,7 +12,6 @@
 #define LIVESIM_NET_LINK_H
 
 #include <cstddef>
-#include <functional>
 
 #include "livesim/sim/simulator.h"
 #include "livesim/util/rng.h"
@@ -37,8 +36,9 @@ class Link {
 
   /// Delivers `on_arrival` after a sampled delay; drops it (never calls)
   /// with probability loss_rate. Returns the scheduled delay, or -1 if
-  /// the message was lost.
-  DurationUs send(std::size_t bytes, std::function<void()> on_arrival);
+  /// the message was lost. The callback is scheduled as-is (no extra
+  /// wrapper), so small captures ride the engine's allocation-free path.
+  DurationUs send(std::size_t bytes, sim::EventFn on_arrival);
 
   const Params& params() const noexcept { return params_; }
 
@@ -50,6 +50,11 @@ class Link {
 
 class FifoUplink {
  public:
+  /// Arrival callback. Sized so that the uplink's own [arrival-time +
+  /// callback] capture still fits the engine's 64-byte inline budget:
+  /// 48-byte buffer + vtable pointer + 8-byte timestamp == 64.
+  using ArrivalFn = sim::InplaceFunction<void(TimeUs), 48>;
+
   struct Params {
     Link::Params link{};                      // per-message delay model
     double outage_rate_per_s = 0.0;           // Poisson outage arrivals
@@ -71,7 +76,7 @@ class FifoUplink {
 
   /// Enqueues a message of `bytes` now; `on_arrival(arrival_time)` fires
   /// at the receiver. FIFO order is preserved. Returns the arrival time.
-  TimeUs send(std::size_t bytes, std::function<void(TimeUs)> on_arrival);
+  TimeUs send(std::size_t bytes, ArrivalFn on_arrival);
 
   /// Blocks the uplink until now + `duration` (fault injection: a link
   /// partition with a known recovery point). Messages sent during the

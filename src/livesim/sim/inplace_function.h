@@ -1,0 +1,202 @@
+// Small-buffer-optimized, move-only callable wrapper.
+//
+// The event engine schedules tens of millions of callbacks per experiment;
+// with std::function every one of them is a heap allocation, because the
+// typical capture ([this] plus a couple of ids and a timestamp) exceeds
+// libstdc++'s 16-byte SBO. InplaceFunction raises the inline budget to
+// `Capacity` bytes (64 by default -- large enough for every hot-path
+// lambda in livesim) and stores the callable directly in the wrapper, so
+// the common schedule never touches the allocator. Oversized or
+// over-aligned captures transparently fall back to a single heap cell,
+// preserving std::function's "any callable works" ergonomics.
+//
+// Differences from std::function, deliberately:
+//   * move-only (so move-only captures work, and copies can't sneak an
+//     allocation into the hot path);
+//   * moved-from and default-constructed wrappers are empty; invoking an
+//     empty wrapper is undefined (the engine never stores empty ones);
+//   * the callable must be nothrow-move-constructible to live inline
+//     (every lambda is); throwing movers fall back to the heap cell.
+#ifndef LIVESIM_SIM_INPLACE_FUNCTION_H
+#define LIVESIM_SIM_INPLACE_FUNCTION_H
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace livesim::sim {
+
+inline constexpr std::size_t kInplaceFunctionCapacity = 64;
+
+template <typename Signature,
+          std::size_t Capacity = kInplaceFunctionCapacity>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*),
+                "the buffer must at least hold the heap-fallback pointer");
+
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &Inline<D>::vt;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &Boxed<D>::vt;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      take(other);
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_ != nullptr) {
+        vt_ = other.vt_;
+        take(other);
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  /// Constructs a callable directly in the buffer, skipping the temporary
+  /// wrapper (and its relocation) a converting construct-then-move incurs.
+  /// This is the engine's schedule fast path.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &Inline<D>::vt;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &Boxed<D>::vt;
+    }
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    return vt_->invoke(const_cast<unsigned char*>(buf_),
+                       std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (no heap cell).
+  /// Exposed so tests can pin the SBO threshold.
+  bool is_inline() const noexcept { return vt_ != nullptr && vt_->inline_; }
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* obj, Args&&... args);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct, then
+                                                      // destroy the source
+    void (*destroy)(void* obj) noexcept;
+    bool inline_;
+    // Trivial-capture fast paths: the common scheduling lambda (a `this`
+    // pointer plus a few ids) is trivially copyable and destructible, so
+    // moves become a fixed-size memcpy and destruction a pointer clear --
+    // no indirect call on either hot path.
+    bool trivial_relocate;
+    bool trivial_destroy;
+  };
+
+  template <typename D>
+  struct Inline {
+    static R invoke(void* obj, Args&&... args) {
+      return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      D* from = static_cast<D*>(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void destroy(void* obj) noexcept { static_cast<D*>(obj)->~D(); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy, true,
+                               std::is_trivially_copyable_v<D>,
+                               std::is_trivially_destructible_v<D>};
+  };
+
+  template <typename D>
+  struct Boxed {
+    static D*& cell(void* obj) { return *static_cast<D**>(obj); }
+    static R invoke(void* obj, Args&&... args) {
+      return (*cell(obj))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) D*(cell(src));  // ownership moves with the pointer
+    }
+    static void destroy(void* obj) noexcept { delete cell(obj); }
+    // The box pointer itself relocates trivially; destruction never does.
+    static constexpr VTable vt{&invoke, &relocate, &destroy, false,
+                               true, false};
+  };
+
+  // Precondition: vt_ == other.vt_ != nullptr and our buffer is dead.
+  // Leaves `other` empty.
+  void take(InplaceFunction& other) noexcept {
+    if (vt_->trivial_relocate) {
+      std::memcpy(buf_, other.buf_, Capacity);
+    } else {
+      vt_->relocate(buf_, other.buf_);
+    }
+    other.vt_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      if (!vt_->trivial_destroy) vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+template <typename Sig, std::size_t Cap>
+bool operator==(const InplaceFunction<Sig, Cap>& f, std::nullptr_t) noexcept {
+  return !static_cast<bool>(f);
+}
+template <typename Sig, std::size_t Cap>
+bool operator!=(const InplaceFunction<Sig, Cap>& f, std::nullptr_t) noexcept {
+  return static_cast<bool>(f);
+}
+
+}  // namespace livesim::sim
+
+#endif  // LIVESIM_SIM_INPLACE_FUNCTION_H

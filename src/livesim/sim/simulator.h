@@ -4,22 +4,45 @@
 // the same instant fire in scheduling order (stable), which keeps protocol
 // handshakes deterministic. Everything in livesim that "takes time" is
 // expressed as events against one of these.
+//
+// Internals (see DESIGN.md "Engine internals & performance model"):
+// events live in a recycling slab of slots addressed by {index, generation}
+// handles. Slots are allocated in fixed-size chunks so their addresses are
+// stable for the slab's lifetime -- callbacks are invoked in place, never
+// moved, and a PeriodicProcess re-arms its slot and closure verbatim every
+// tick. A 4-ary min-heap of (time, seq, slot) entries orders the queue; a
+// parallel heap-position array lets cancel() splice an entry out
+// immediately, so there are no tombstones and no hash sets anywhere.
+// Callbacks are stored in a 64-byte small-buffer-optimized EventFn, so the
+// common schedule performs zero heap allocations.
 #ifndef LIVESIM_SIM_SIMULATOR_H
 #define LIVESIM_SIM_SIMULATOR_H
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
-#include "livesim/util/ids.h"
+#include "livesim/sim/inplace_function.h"
 #include "livesim/util/time.h"
 
 namespace livesim::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InplaceFunction<void()>;
+
+/// Names one scheduled (pending) event: the arena slot it occupies plus
+/// the slot's generation at scheduling time. Slots are recycled; the
+/// generation is bumped whenever an event fires or is cancelled, so a
+/// stale handle can never cancel the slot's next tenant.
+struct EventHandle {
+  static constexpr std::uint32_t kInvalidIndex = 0xFFFFFFFFu;
+
+  std::uint32_t index = kInvalidIndex;
+  std::uint32_t generation = 0;
+
+  constexpr bool valid() const noexcept { return index != kInvalidIndex; }
+  friend constexpr bool operator==(EventHandle, EventHandle) = default;
+};
 
 class Simulator {
  public:
@@ -33,14 +56,44 @@ class Simulator {
   TimeUs now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now, else clamped to now).
-  EventId schedule_at(TimeUs t, EventFn fn);
+  /// The callable is constructed directly in its arena slot: for captures
+  /// within the EventFn inline budget no temporary wrapper and no heap
+  /// allocation are involved.
+  template <typename F>
+  EventHandle schedule_at(TimeUs t, F&& fn) {
+    if (t < now_) t = now_;
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      s.fn = std::forward<F>(fn);
+    } else {
+      s.fn.emplace(std::forward<F>(fn));
+    }
+    s.state = SlotState::kQueued;
+    heap_push(HeapEntry{t, next_seq_++, idx});
+    return EventHandle{idx, s.generation};
+  }
 
   /// Schedules `fn` after `delay` (negative delays clamp to "immediately").
-  EventId schedule_in(DurationUs delay, EventFn fn);
+  template <typename F>
+  EventHandle schedule_in(DurationUs delay, F&& fn) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Returns false if it already ran, was already
-  /// cancelled, or never existed.
-  bool cancel(EventId id);
+  /// cancelled, or never existed. The heap entry is spliced out on the
+  /// spot: cancelled events occupy no memory and are never re-examined.
+  bool cancel(EventHandle h);
+
+  /// Re-arms the event currently being fired at absolute time `t`
+  /// (clamped to now), reusing its slot and its callback in place --
+  /// the PeriodicProcess fast path. Must be called from inside the
+  /// running callback, at most once per firing; consumes a fresh FIFO
+  /// sequence number exactly like schedule_at, so the firing order is
+  /// byte-identical to a schedule_at-based re-arm. Returns the handle
+  /// naming the re-armed event.
+  EventHandle reschedule_current(TimeUs t);
 
   /// Runs until the queue is empty.
   void run();
@@ -51,31 +104,61 @@ class Simulator {
   /// Runs at most `n` further events; returns how many actually ran.
   std::size_t step(std::size_t n = 1);
 
-  std::size_t pending() const noexcept { return pending_ids_.size(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
   std::size_t events_processed() const noexcept { return processed_; }
 
  private:
-  struct Entry {
+  // 256 slots per chunk: a chunk is ~20 KB, and slot addresses never move,
+  // so a callback can be invoked in place while the slab grows under it.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  enum class SlotState : std::uint8_t { kFree, kQueued, kRunning };
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    SlotState state = SlotState::kFree;
+    bool executing = false;  // operator() frames on the stack right now
+  };
+
+  // The ordering key lives inline in the heap entry so sift compares never
+  // chase a pointer into the slab.
+  struct HeapEntry {
     TimeUs time;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  // Discards tombstoned entries off the top of the heap and returns the
-  // earliest live entry, or nullptr when no event remains. Shared by
-  // pop_one and run_until so the skip policy exists exactly once.
-  const Entry* peek();
-  bool pop_one();  // runs the earliest non-cancelled event, if any
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  Slot& slot(std::uint32_t idx) noexcept {
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void heap_push(HeapEntry e);
+  void heap_pop_root();
+  void heap_erase(std::uint32_t pos);
+  void heap_sift_up(std::uint32_t pos);
+  void heap_sift_down(std::uint32_t pos);
+
+  bool pop_one();  // runs the earliest event, if any
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap over (time, seq)
+  // Per-slot bookkeeping kept out of the slot so sift write-backs touch a
+  // dense 4-byte-stride array: heap position while kQueued, next-free
+  // link while kFree.
+  std::vector<std::uint32_t> heap_pos_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = EventHandle::kInvalidIndex;
+  std::uint32_t running_slot_ = EventHandle::kInvalidIndex;
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
@@ -85,7 +168,7 @@ class Simulator {
 /// The callback receives the process so it can stop itself.
 class PeriodicProcess {
  public:
-  using TickFn = std::function<void(PeriodicProcess&)>;
+  using TickFn = InplaceFunction<void(PeriodicProcess&)>;
 
   /// Starts ticking at `start`, then every `interval`. The optional
   /// `jitter_fn` returns a signed offset added to each subsequent interval.
@@ -102,12 +185,12 @@ class PeriodicProcess {
   std::uint64_t ticks() const noexcept { return ticks_; }
 
  private:
-  void arm(TimeUs at);
+  void tick();
 
   Simulator& sim_;
   DurationUs interval_;
   TickFn fn_;
-  EventId pending_{};
+  EventHandle pending_{};
   bool running_ = true;
   std::uint64_t ticks_ = 0;
 };

@@ -29,13 +29,15 @@ struct BroadcastTag {};
 struct UserTag {};
 struct DatacenterTag {};
 struct ConnectionTag {};
-struct EventTag {};
 
 using BroadcastId = Id<BroadcastTag>;
 using UserId = Id<UserTag>;
 using DatacenterId = Id<DatacenterTag>;
 using ConnectionId = Id<ConnectionTag>;
-using EventId = Id<EventTag>;
+
+// Pending simulator events are named by sim::EventHandle ({slot,
+// generation} into the event arena, see sim/simulator.h), not by an Id:
+// handles are recycled, so a plain integer id would be ambiguous.
 
 }  // namespace livesim
 

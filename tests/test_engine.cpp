@@ -1,0 +1,301 @@
+// Engine-internals tests: EventHandle generation semantics across slot
+// recycling, cancel correctness under same-timestamp FIFO, re-arm-in-place,
+// and the InplaceFunction small-buffer contract. Complements the behavioral
+// coverage in test_simulator.cpp, which treats the queue as a black box.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "livesim/sim/inplace_function.h"
+#include "livesim/sim/simulator.h"
+
+namespace livesim::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Handle generations & slot recycling
+
+TEST(EngineCancel, CancelAfterFireFails) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule_at(10, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(EngineCancel, DoubleCancelFails) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EngineCancel, StaleHandleNeverCancelsSlotsNextTenant) {
+  Simulator sim;
+  // Occupy a slot, cancel it (slot returns to the freelist)...
+  const EventHandle stale = sim.schedule_at(10, [] {});
+  ASSERT_TRUE(sim.cancel(stale));
+  // ...then let a new event move in; it will reuse the same arena slot.
+  bool tenant_ran = false;
+  const EventHandle tenant = sim.schedule_at(20, [&] { tenant_ran = true; });
+  EXPECT_EQ(tenant.index, stale.index);          // slot actually recycled
+  EXPECT_NE(tenant.generation, stale.generation);  // but generation moved on
+  // The stale handle must bounce off, and the tenant must still fire.
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(tenant_ran);
+}
+
+TEST(EngineCancel, StaleHandleAfterFireNeverCancelsSlotsNextTenant) {
+  Simulator sim;
+  const EventHandle stale = sim.schedule_at(10, [] {});
+  sim.run();  // fires; the slot is recycled through the freelist
+  bool tenant_ran = false;
+  const EventHandle tenant = sim.schedule_at(20, [&] { tenant_ran = true; });
+  EXPECT_EQ(tenant.index, stale.index);
+  EXPECT_FALSE(sim.cancel(stale));
+  sim.run();
+  EXPECT_TRUE(tenant_ran);
+}
+
+TEST(EngineCancel, GenerationsSurviveRepeatedRecycling) {
+  Simulator sim;
+  std::vector<EventHandle> history;
+  for (int round = 0; round < 50; ++round) {
+    const EventHandle h = sim.schedule_at(sim.now() + 1, [] {});
+    history.push_back(h);
+    sim.run();
+  }
+  // Every retired handle must be dead, no matter how many tenants ago.
+  for (const EventHandle& h : history) EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(EngineCancel, CancelEveryOtherOfMany) {
+  Simulator sim;
+  constexpr int kN = 1000;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < kN; ++i)
+    handles.push_back(
+        sim.schedule_at((i * 37) % 100, [&fired, i] { fired.push_back(i); }));
+  for (int i = 0; i < kN; i += 2) EXPECT_TRUE(sim.cancel(handles[i]));
+  sim.run();
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(kN / 2));
+  for (int i : fired) EXPECT_EQ(i % 2, 1);
+  // After the run every handle -- cancelled or fired -- is dead.
+  for (const EventHandle& h : handles) EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EngineCancel, SameTimestampFifoSurvivesCancellation) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(sim.schedule_at(5, [&order, i] { order.push_back(i); }));
+  // Cancel a scattered subset; the survivors must still fire in their
+  // original scheduling order (the heap splice must not perturb FIFO).
+  for (int i = 0; i < 100; ++i)
+    if (i % 3 == 0) sim.cancel(handles[i]);
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 100; ++i)
+    if (i % 3 != 0) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EngineCancel, CallbackCancelsLaterSameTimeEvent) {
+  Simulator sim;
+  bool victim_ran = false;
+  EventHandle victim;
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  victim = sim.schedule_at(10, [&] { victim_ran = true; });
+  sim.run();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(EngineCancel, CallbackCancelsItsOwnHandleFails) {
+  Simulator sim;
+  EventHandle self;
+  bool cancel_result = true;
+  self = sim.schedule_at(10, [&] { cancel_result = sim.cancel(self); });
+  sim.run();
+  // By the time the callback runs the event has fired: cancel must refuse.
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(EngineReschedule, OutsideCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.reschedule_current(10), std::logic_error);
+}
+
+TEST(EngineReschedule, RearmedEventFiresAgainAndHandleIsLive) {
+  Simulator sim;
+  int fires = 0;
+  EventHandle rearmed;
+  sim.schedule_at(10, [&] {
+    if (++fires == 1) rearmed = sim.reschedule_current(sim.now() + 5);
+  });
+  sim.run();
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.now(), 15);
+  EXPECT_FALSE(sim.cancel(rearmed));  // second firing retired the handle
+}
+
+TEST(EngineReschedule, RearmThenCancelFromOutside) {
+  Simulator sim;
+  int fires = 0;
+  EventHandle rearmed;
+  sim.schedule_at(10, [&] {
+    ++fires;
+    rearmed = sim.reschedule_current(sim.now() + 5);
+  });
+  sim.schedule_at(12, [&] { EXPECT_TRUE(sim.cancel(rearmed)); });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EngineReschedule, RearmThenSelfCancelInsideCallback) {
+  // A callback that re-arms itself and then thinks better of it: the
+  // closure is still on the stack when cancel runs, so the engine must
+  // defer destruction instead of freeing the frame under our feet.
+  Simulator sim;
+  int fires = 0;
+  sim.schedule_at(10, [&] {
+    ++fires;
+    const EventHandle h = sim.reschedule_current(sim.now() + 5);
+    EXPECT_TRUE(sim.cancel(h));
+  });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EngineReschedule, TwiceInOneFiringThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    sim.reschedule_current(sim.now() + 5);
+    EXPECT_THROW(sim.reschedule_current(sim.now() + 5), std::logic_error);
+  });
+  // The callback re-arms on every firing; bound the run explicitly.
+  const std::size_t ran = sim.step(2);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(sim.pending(), 1u);  // the second firing re-armed once more
+}
+
+// ---------------------------------------------------------------------------
+// InplaceFunction small-buffer contract
+
+TEST(InplaceFunctionTest, SmallCaptureLivesInline) {
+  int x = 41;
+  InplaceFunction<int()> f([&x] { return x + 1; });
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InplaceFunctionTest, CapacityBoundaryIsExact) {
+  std::array<char, kInplaceFunctionCapacity> at_cap{};
+  at_cap[0] = 7;
+  InplaceFunction<int()> inline_fn([at_cap] { return at_cap[0]; });
+  EXPECT_TRUE(inline_fn.is_inline());
+  EXPECT_EQ(inline_fn(), 7);
+
+  std::array<char, kInplaceFunctionCapacity + 1> over_cap{};
+  over_cap[0] = 9;
+  InplaceFunction<int()> boxed_fn([over_cap] { return over_cap[0]; });
+  EXPECT_FALSE(boxed_fn.is_inline());
+  EXPECT_EQ(boxed_fn(), 9);
+}
+
+TEST(InplaceFunctionTest, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(5);
+  InplaceFunction<int()> f([p = std::move(p)] { return *p; });
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InplaceFunction<void()> a([&calls] { ++calls; });
+  InplaceFunction<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InplaceFunction<void()> c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+struct DtorCounter {
+  int* count;
+  explicit DtorCounter(int* c) : count(c) {}
+  DtorCounter(DtorCounter&& other) noexcept : count(other.count) {
+    other.count = nullptr;
+  }
+  DtorCounter(const DtorCounter&) = delete;
+  ~DtorCounter() {
+    if (count != nullptr) ++*count;
+  }
+  void operator()() const {}
+};
+
+TEST(InplaceFunctionTest, DestroysCaptureExactlyOnce) {
+  int dtors = 0;
+  {
+    InplaceFunction<void()> f{DtorCounter(&dtors)};
+    EXPECT_TRUE(f.is_inline());
+    InplaceFunction<void()> g(std::move(f));  // relocation must not double-count
+    g();
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InplaceFunctionTest, NullptrAssignmentDestroysCapture) {
+  int dtors = 0;
+  InplaceFunction<void()> f{DtorCounter(&dtors)};
+  f = nullptr;
+  EXPECT_EQ(dtors, 1);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+struct BigDtorCounter : DtorCounter {
+  std::array<char, 128> pad{};
+  using DtorCounter::DtorCounter;
+};
+
+TEST(InplaceFunctionTest, BoxedCaptureDestroysExactlyOnce) {
+  int dtors = 0;
+  {
+    InplaceFunction<void()> f{BigDtorCounter(&dtors)};
+    EXPECT_FALSE(f.is_inline());
+    InplaceFunction<void()> g(std::move(f));
+    g();
+  }
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(InplaceFunctionTest, EmplaceReplacesExistingCapture) {
+  int dtors = 0;
+  InplaceFunction<void()> f{DtorCounter(&dtors)};
+  f.emplace([] {});
+  EXPECT_EQ(dtors, 1);  // the old capture died when the new one moved in
+  f();
+}
+
+TEST(InplaceFunctionTest, ArgumentsAreForwarded) {
+  InplaceFunction<int(int, int)> f([](int a, int b) { return a * 10 + b; });
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+}  // namespace
+}  // namespace livesim::sim

@@ -1,0 +1,125 @@
+// Pins the engine's "allocation-free hot path" contract with a global
+// operator-new hook: once the arena and heap are warm, scheduling and
+// running events whose captures fit the EventFn inline budget must perform
+// ZERO heap allocations, and PeriodicProcess steady-state ticking must
+// re-arm in place without touching the allocator.
+//
+// This lives in its own test binary because replacing global operator new
+// is a whole-program decision; the main livesim_tests binary stays stock.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "livesim/sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace livesim::sim {
+namespace {
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+TEST(EngineAllocations, WarmSchedulingOfSmallCapturesIsAllocationFree) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  // Warm-up: grow the slot arena, the heap vector, and the position array
+  // past the sizes the measured phase will need.
+  constexpr int kWarm = 4096;
+  constexpr int kMeasured = 1024;
+  for (int i = 0; i < kWarm; ++i)
+    sim.schedule_at((i * 7) % 50, [&sink] { ++sink; });
+  sim.run();
+
+  // Measured phase: a capture well under the inline budget (one pointer
+  // plus two 8-byte values = 24 bytes).
+  const std::uint64_t before = allocation_count();
+  std::uint64_t a = 1, b = 2;
+  for (int i = 0; i < kMeasured; ++i)
+    sim.schedule_at(sim.now() + (i * 13) % 50,
+                    [&sink, a, b] { sink += a + b; });
+  const std::uint64_t after_schedule = allocation_count();
+  sim.run();
+  const std::uint64_t after_run = allocation_count();
+
+  EXPECT_EQ(after_schedule - before, 0u)
+      << "scheduling a <=64-byte capture allocated";
+  EXPECT_EQ(after_run - after_schedule, 0u) << "running events allocated";
+  EXPECT_EQ(sink, static_cast<std::uint64_t>(kWarm) + 3u * kMeasured);
+}
+
+TEST(EngineAllocations, CancelIsAllocationFree) {
+  Simulator sim;
+  constexpr int kWarm = 4096;
+  std::vector<EventHandle> handles;
+  handles.reserve(kWarm);
+  std::uint64_t sink = 0;
+  for (int i = 0; i < kWarm; ++i)
+    sim.schedule_at((i * 7) % 50, [&sink] { ++sink; });
+  sim.run();
+
+  for (int i = 0; i < kWarm; ++i)
+    handles.push_back(
+        sim.schedule_at(sim.now() + (i * 7) % 50, [&sink] { ++sink; }));
+  const std::uint64_t before = allocation_count();
+  for (const EventHandle& h : handles) EXPECT_TRUE(sim.cancel(h));
+  EXPECT_EQ(allocation_count() - before, 0u) << "cancel allocated";
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EngineAllocations, OversizedCaptureAllocatesExactlyOncePerSchedule) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  sim.schedule_at(1, [&sink] { ++sink; });
+  sim.run();  // warm the arena and heap
+
+  std::array<char, 100> big{};  // over the 64-byte inline budget
+  big[0] = 1;
+  const std::uint64_t before = allocation_count();
+  sim.schedule_at(sim.now() + 1,
+                  [&sink, big] { sink += static_cast<unsigned char>(big[0]); });
+  EXPECT_EQ(allocation_count() - before, 1u)
+      << "an oversized capture should cost exactly one boxed cell";
+  sim.run();
+  EXPECT_EQ(sink, 2u);
+}
+
+TEST(EngineAllocations, PeriodicSteadyStateTickingIsAllocationFree) {
+  Simulator sim;
+  std::uint64_t ticks_seen = 0;
+  PeriodicProcess proc(sim, 0, 10, [&](PeriodicProcess&) { ++ticks_seen; });
+  sim.run_until(50);  // construction + first few ticks may allocate
+  const std::uint64_t before = allocation_count();
+  sim.run_until(10050);  // 1000 more re-arm-in-place ticks
+  EXPECT_EQ(allocation_count() - before, 0u)
+      << "steady-state periodic ticking allocated";
+  proc.stop();
+  EXPECT_EQ(ticks_seen, 1006u);
+}
+
+}  // namespace
+}  // namespace livesim::sim

@@ -192,6 +192,51 @@ TEST(Catalog, DistanceSymmetricAndZeroForColocated) {
   EXPECT_NEAR(c.distance_km(ingests[0]->id, edges[0]->id), 0.0, 1e-9);
 }
 
+TEST(Catalog, DistanceCacheMatchesDirectHaversine) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  // The cache must hold the bit-exact doubles haversine_km produces for
+  // every ordered pair -- equality, not tolerance: anycast tie-breaks
+  // compare these values with ==.
+  for (const auto& a : c.all())
+    for (const auto& b : c.all())
+      EXPECT_EQ(c.distance_km(a.id, b.id),
+                haversine_km(a.location, b.location))
+          << a.city << " -> " << b.city;
+}
+
+TEST(Catalog, DistanceCacheExtendsOnAddSite) {
+  auto c = DatacenterCatalog::single_site();
+  const DatacenterId added =
+      c.add_site("Springfield", Continent::kNorthAmerica, 44.0, -93.0,
+                 CdnRole::kEdge);
+  for (const auto& other : c.all())
+    EXPECT_EQ(c.distance_km(added, other.id),
+              haversine_km(c.get(added).location, other.location));
+}
+
+TEST(Catalog, SiteKeyedNearestMatchesPointKeyed) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  for (const auto& dc : c.all()) {
+    for (CdnRole role : {CdnRole::kIngest, CdnRole::kEdge}) {
+      EXPECT_EQ(c.nearest(dc.id, role).id.value,
+                c.nearest(dc.location, role).id.value)
+          << dc.city;
+    }
+  }
+}
+
+TEST(Catalog, SiteKeyedKNearestMatchesPointKeyed) {
+  const auto c = DatacenterCatalog::paper_footprint();
+  const std::vector<DatacenterId> exclude = {c.edge_sites()[0]->id};
+  for (const auto& dc : c.all()) {
+    const auto by_id = c.k_nearest(dc.id, CdnRole::kEdge, 5, exclude);
+    const auto by_pt = c.k_nearest(dc.location, CdnRole::kEdge, 5, exclude);
+    ASSERT_EQ(by_id.size(), by_pt.size()) << dc.city;
+    for (std::size_t i = 0; i < by_id.size(); ++i)
+      EXPECT_EQ(by_id[i]->id.value, by_pt[i]->id.value) << dc.city;
+  }
+}
+
 TEST(UserGeoSampler, ProducesValidCoordinates) {
   UserGeoSampler s;
   Rng rng(7);

@@ -64,7 +64,7 @@ TEST(Simulator, NegativeDelayClamps) {
 TEST(Simulator, CancelPreventsExecution) {
   Simulator sim;
   bool ran = false;
-  const EventId id = sim.schedule_at(10, [&] { ran = true; });
+  const EventHandle id = sim.schedule_at(10, [&] { ran = true; });
   EXPECT_TRUE(sim.cancel(id));
   sim.run();
   EXPECT_FALSE(ran);
@@ -72,22 +72,23 @@ TEST(Simulator, CancelPreventsExecution) {
 
 TEST(Simulator, CancelTwiceFails) {
   Simulator sim;
-  const EventId id = sim.schedule_at(10, [] {});
+  const EventHandle id = sim.schedule_at(10, [] {});
   EXPECT_TRUE(sim.cancel(id));
   EXPECT_FALSE(sim.cancel(id));
 }
 
 TEST(Simulator, CancelAfterRunFails) {
   Simulator sim;
-  const EventId id = sim.schedule_at(10, [] {});
+  const EventHandle id = sim.schedule_at(10, [] {});
   sim.run();
   EXPECT_FALSE(sim.cancel(id));
 }
 
 TEST(Simulator, CancelInvalidIdFails) {
   Simulator sim;
-  EXPECT_FALSE(sim.cancel(EventId{}));
-  EXPECT_FALSE(sim.cancel(EventId{9999}));
+  EXPECT_FALSE(sim.cancel(EventHandle{}));  // default handle is invalid
+  // A handle into a slot the arena never allocated.
+  EXPECT_FALSE(sim.cancel(EventHandle{9999, 1}));
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {

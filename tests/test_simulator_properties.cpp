@@ -18,7 +18,7 @@ namespace {
 struct Scheduled {
   TimeUs t;
   int label;
-  EventId id;
+  EventHandle id;
 };
 
 // Reference order: stable sort by time (insertion order breaks ties),
@@ -45,7 +45,7 @@ TEST(SimulatorProperty, SameInstantOrderingIsStable) {
     for (int i = 0; i < n; ++i) {
       // Few distinct instants => heavy tie-breaking pressure.
       const TimeUs t = rng.uniform_int(0, 8) * 10;
-      const EventId id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+      const EventHandle id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
       events.push_back({t, i, id});
     }
     sim.run();
@@ -62,7 +62,7 @@ TEST(SimulatorProperty, CancelledSubsetNeverFiresRestKeepsOrder) {
     const int n = static_cast<int>(rng.uniform_int(2, 100));
     for (int i = 0; i < n; ++i) {
       const TimeUs t = rng.uniform_int(0, 6) * 5;
-      const EventId id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
+      const EventHandle id = sim.schedule_at(t, [&fired, i] { fired.push_back(i); });
       events.push_back({t, i, id});
     }
     std::vector<Scheduled> kept;
@@ -84,13 +84,13 @@ TEST(SimulatorProperty, CancelAfterFireReturnsFalse) {
   Rng rng(13);
   for (int round = 0; round < 20; ++round) {
     Simulator sim;
-    std::vector<EventId> ids;
+    std::vector<EventHandle> ids;
     const int n = static_cast<int>(rng.uniform_int(1, 60));
     for (int i = 0; i < n; ++i)
       ids.push_back(sim.schedule_at(rng.uniform_int(0, 100), [] {}));
     sim.run();
     // Every event has fired; cancelling any of them must report failure.
-    for (const EventId id : ids) EXPECT_FALSE(sim.cancel(id));
+    for (const EventHandle id : ids) EXPECT_FALSE(sim.cancel(id));
     EXPECT_EQ(sim.events_processed(), static_cast<std::size_t>(n));
   }
 }
@@ -162,11 +162,11 @@ TEST(SimulatorProperty, RunUntilAfterCancelSkipsTombstones) {
   for (int round = 0; round < 30; ++round) {
     Simulator sim;
     int fired = 0;
-    std::vector<EventId> ids;
+    std::vector<EventHandle> ids;
     for (int i = 0; i < 50; ++i)
       ids.push_back(sim.schedule_at(rng.uniform_int(0, 100), [&] { ++fired; }));
     int cancelled = 0;
-    for (const EventId id : ids) {
+    for (const EventHandle id : ids) {
       if (rng.bernoulli(0.5) && sim.cancel(id)) ++cancelled;
     }
     sim.run_until(100);  // past every event: only survivors fire
