@@ -12,6 +12,12 @@
 //                     (retransmit-timer-style workloads).
 //   periodic_heavy -- K PeriodicProcesses ticking through T of simulated
 //                     time. The re-arm-in-place fast path.
+//   flash_crowd    -- 100k HLS viewers polling one edge at 2.8 s via the
+//                     bucketed PollWheel (one engine event per bucket
+//                     tick fans out to the cohort), against the same
+//                     crowd as 100k per-viewer PeriodicProcess timers.
+//                     Reports ns/viewer-poll and the engine-events-per-
+//                     poll-interval reduction the wheel buys.
 //
 // Each mix runs `reps` times. Wall-clock numbers come from the fastest
 // rep (least scheduler noise); every rep also folds its observable firing
@@ -30,7 +36,9 @@
 #include <memory>
 #include <vector>
 
+#include "livesim/sim/poll_wheel.h"
 #include "livesim/sim/simulator.h"
+#include "livesim/util/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -147,6 +155,113 @@ std::uint64_t run_periodic_mix(std::size_t n, FnvMixer& fp,
   return elapsed;
 }
 
+// flash_crowd: the §5.2 poll loop at Twitch scale. One hundred thousand
+// viewers, one edge, 2.8 s interval. The wheel path pays one engine event
+// per non-empty bucket per rotation; the per-viewer-timer baseline pays
+// one per viewer. Fan-out work per viewer-poll is the same on both sides
+// (ledger toggle + order fingerprint), and because the wheel visits a
+// bucket in attach order -- exactly the firing order of same-phase
+// timers -- the two observable orders must fingerprint identically.
+struct FlashCrowdStats {
+  std::uint64_t polls = 0;             // viewer-polls via the wheel
+  std::uint64_t wheel_ns = 0;
+  std::uint64_t timer_ns = 0;
+  std::uint64_t wheel_events_per_interval = 0;
+  std::uint64_t timer_events_per_interval = 0;
+  bool order_parity = false;           // wheel order == timer order
+};
+
+constexpr std::size_t kCrowdViewers = 100000;
+constexpr TimeUs kCrowdPeriod = 2800000;  // 2.8 s in us
+constexpr std::uint32_t kCrowdBuckets = 64;
+
+std::uint64_t run_flash_crowd_mix(std::size_t n, FnvMixer& fp,
+                                  std::uint64_t* dispatched,
+                                  FlashCrowdStats* stats) {
+  const std::size_t intervals =
+      std::max<std::size_t>(2, std::min<std::size_t>(20, n / kCrowdViewers));
+  const TimeUs horizon = static_cast<TimeUs>(intervals) * kCrowdPeriod;
+
+  // --- wheel lane ---
+  std::uint64_t wheel_events = 0;
+  std::uint64_t wheel_ns = 0;
+  FnvMixer wheel_order;
+  std::uint64_t wheel_polls = 0;
+  {
+    sim::Simulator sim;
+    sim::PollWheel wheel(sim, kCrowdPeriod, kCrowdBuckets);
+    std::vector<std::uint8_t> outstanding(kCrowdViewers, 0);
+    wheel.set_fanout(
+        [&](TimeUs tick, std::uint64_t tag, sim::CohortSlot) {
+          wheel_order.mix(tag ^ static_cast<std::uint64_t>(tick));
+          outstanding[tag] ^= 1;  // the per-viewer SoA ledger touch
+          ++wheel_polls;
+        });
+    Rng rng(42);
+    const std::uint64_t t0 = now_ns();
+    for (std::size_t i = 0; i < kCrowdViewers; ++i) {
+      const auto raw = static_cast<TimeUs>(
+          rng.uniform() * static_cast<double>(kCrowdPeriod));
+      wheel.attach(wheel.quantize(raw), i);
+    }
+    sim.run_until(horizon);
+    wheel_ns = now_ns() - t0;
+    wheel_events = sim.events_processed();
+  }
+
+  // --- per-viewer-timer baseline, identical phases & work ---
+  std::uint64_t timer_events = 0;
+  std::uint64_t timer_ns = 0;
+  FnvMixer timer_order;
+  std::uint64_t timer_polls = 0;
+  {
+    sim::Simulator sim;
+    std::vector<std::uint8_t> outstanding(kCrowdViewers, 0);
+    std::vector<std::unique_ptr<sim::PeriodicProcess>> procs;
+    procs.reserve(kCrowdViewers);
+    Rng rng(42);
+    const std::uint64_t t0 = now_ns();
+    constexpr TimeUs kWidth = kCrowdPeriod / kCrowdBuckets;
+    for (std::size_t i = 0; i < kCrowdViewers; ++i) {
+      const auto raw = static_cast<TimeUs>(
+          rng.uniform() * static_cast<double>(kCrowdPeriod));
+      TimeUs t = ((raw + kWidth - 1) / kWidth) * kWidth;  // same quantize
+      if (t <= 0) t = kWidth;
+      procs.push_back(std::make_unique<sim::PeriodicProcess>(
+          sim, t, kCrowdPeriod,
+          [&timer_order, &outstanding, &timer_polls, &sim,
+           i](sim::PeriodicProcess&) {
+            timer_order.mix(static_cast<std::uint64_t>(i) ^
+                            static_cast<std::uint64_t>(sim.now()));
+            outstanding[i] ^= 1;
+            ++timer_polls;
+          }));
+    }
+    sim.run_until(horizon);
+    for (auto& p : procs) p->stop();
+    timer_ns = now_ns() - t0;
+    timer_events = sim.events_processed();
+  }
+
+  fp.mix(wheel_order.h);
+  fp.mix(wheel_polls);
+  fp.mix(wheel_events);
+  fp.mix(timer_order.h);
+  fp.mix(timer_events);
+  *dispatched = wheel_polls;
+
+  if (stats != nullptr) {
+    stats->polls = wheel_polls;
+    stats->wheel_ns = wheel_ns;
+    stats->timer_ns = timer_ns;
+    stats->wheel_events_per_interval = wheel_events / intervals;
+    stats->timer_events_per_interval = timer_events / intervals;
+    stats->order_parity =
+        wheel_order.h == timer_order.h && wheel_polls == timer_polls;
+  }
+  return wheel_ns;
+}
+
 template <typename MixFn>
 MixResult measure(const char* name, std::size_t n, int reps, MixFn mix) {
   MixResult r;
@@ -171,6 +286,67 @@ MixResult measure(const char* name, std::size_t n, int reps, MixFn mix) {
       " events_per_sec=%.0f fingerprint=%016" PRIx64 " identical: %s\n",
       r.name, r.events, r.ns_per_event(), r.events_per_sec(), r.fingerprint,
       r.deterministic ? "yes" : "NO -- BUG");
+  return r;
+}
+
+// flash_crowd needs its own driver: besides the standard per-mix line it
+// prints the wheel-vs-timer contract lines CI pins (ns/viewer-poll, the
+// engine-events-per-interval reduction, and fan-out order parity).
+MixResult measure_flash_crowd(std::size_t n, int reps) {
+  MixResult r;
+  r.name = "flash_crowd";
+  r.best_ns = ~0ULL;
+  std::uint64_t first_fp = 0;
+  FlashCrowdStats stats;
+  std::uint64_t best_timer_ns = ~0ULL;
+  for (int rep = 0; rep < reps; ++rep) {
+    FnvMixer fp;
+    std::uint64_t dispatched = 0;
+    FlashCrowdStats s;
+    const std::uint64_t ns = run_flash_crowd_mix(n, fp, &dispatched, &s);
+    if (ns < r.best_ns) r.best_ns = ns;
+    if (s.timer_ns < best_timer_ns) best_timer_ns = s.timer_ns;
+    r.events = dispatched;
+    stats = s;
+    if (rep == 0) {
+      first_fp = fp.h;
+    } else if (fp.h != first_fp) {
+      r.deterministic = false;
+    }
+  }
+  r.fingerprint = first_fp;
+  std::printf(
+      "engine_baseline mix=%s events=%" PRIu64 " ns_per_event=%.1f"
+      " events_per_sec=%.0f fingerprint=%016" PRIx64 " identical: %s\n",
+      r.name, r.events, r.ns_per_event(), r.events_per_sec(), r.fingerprint,
+      r.deterministic ? "yes" : "NO -- BUG");
+
+  const double wheel_ns_per_poll =
+      stats.polls > 0
+          ? static_cast<double>(r.best_ns) / static_cast<double>(stats.polls)
+          : 0.0;
+  const double timer_ns_per_poll =
+      stats.polls > 0 ? static_cast<double>(best_timer_ns) /
+                            static_cast<double>(stats.polls)
+                      : 0.0;
+  const double reduction =
+      stats.wheel_events_per_interval > 0
+          ? static_cast<double>(stats.timer_events_per_interval) /
+                static_cast<double>(stats.wheel_events_per_interval)
+          : 0.0;
+  std::printf(
+      "engine_baseline flash_crowd viewers=%zu ns_per_viewer_poll=%.1f"
+      " (timers: %.1f)\n",
+      kCrowdViewers, wheel_ns_per_poll, timer_ns_per_poll);
+  std::printf(
+      "engine_baseline flash_crowd events_per_interval wheel=%" PRIu64
+      " timers=%" PRIu64 " reduction=%.1fx (>=5x: %s)\n",
+      stats.wheel_events_per_interval, stats.timer_events_per_interval,
+      reduction, reduction >= 5.0 ? "yes" : "NO -- BUG");
+  std::printf("engine_baseline flash_crowd fanout order parity"
+              " wheel==timers: %s\n",
+              stats.order_parity ? "yes" : "NO -- BUG");
+  if (reduction < 5.0 || !stats.order_parity) r.deterministic = false;
   return r;
 }
 
@@ -219,6 +395,7 @@ int main(int argc, char** argv) {
   mixes.push_back(measure("schedule_run", n, reps, run_schedule_mix));
   mixes.push_back(measure("cancel_heavy", n, reps, run_cancel_mix));
   mixes.push_back(measure("periodic_heavy", n, reps, run_periodic_mix));
+  mixes.push_back(measure_flash_crowd(n, reps));
   std::printf("peak_rss_kb=%ld\n", peak_rss_kb());
 
   bool all_deterministic = true;

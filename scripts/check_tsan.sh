@@ -25,7 +25,7 @@ cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
   || fail "configure with -fsanitize=thread did not succeed (compiler without TSan support?)"
 
 cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests \
-      livesim_engine_alloc_tests -j \
+      livesim_engine_alloc_tests livesim_poll_wheel_tests -j \
   || fail "sanitized build did not succeed"
 
 [ -x "$BUILD"/tests/livesim_tests ] \
@@ -48,7 +48,15 @@ TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
 # sweep) shard fault-injected broadcasts over the same pool; their
 # determinism tests double as a race detector for the fault path.
 TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
-  "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*:RegionalDeterminism*:ScenarioExpansion*' \
+  "$BUILD"/tests/livesim_resilience_tests --gtest_filter='ResilienceDeterminism*:NoFaultParity*:RegionalDeterminism*:ScenarioExpansion*:CrowdDeterminism*' \
   || fail "data race or test failure in the resilience determinism suites"
+
+# The poll-wheel battery: cohort churn against the slot arena, plus the
+# wheels-on/off session differentials (crowd generation itself shards
+# over the pool via parallel_map, so this doubles as a race check on the
+# SoA ledger access pattern).
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_poll_wheel_tests \
+  || fail "data race or test failure in the poll-wheel battery"
 
 echo "TSan check passed: no data races in the parallel runner, simulator, engine, or resilience experiment."

@@ -32,6 +32,12 @@ void IngestServer::emit_chunk(const media::Chunk& c) {
   if (chunk_listener_) chunk_listener_(c);
 }
 
+sim::PollWheel& EdgeServer::poll_wheel(DurationUs period,
+                                       std::uint32_t buckets) {
+  if (!wheel_) wheel_ = std::make_unique<sim::PollWheel>(sim_, period, buckets);
+  return *wheel_;
+}
+
 void EdgeServer::on_expire_notice(std::uint64_t latest_seq) {
   if (static_cast<std::int64_t>(latest_seq) > known_latest_seq_)
     known_latest_seq_ = static_cast<std::int64_t>(latest_seq);

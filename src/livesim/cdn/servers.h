@@ -17,9 +17,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "livesim/cdn/resource_model.h"
 #include "livesim/media/chunker.h"
 #include "livesim/media/frame.h"
+#include "livesim/sim/poll_wheel.h"
 #include "livesim/sim/simulator.h"
 #include "livesim/util/ids.h"
 
@@ -172,6 +175,20 @@ class EdgeServer {
   /// blackout pile-up shows up in.
   std::uint64_t peak_attached() const noexcept { return peak_attached_; }
 
+  // --- poll-aggregation cohort (flash-crowd fast path) ---
+  // This edge's bucketed poll wheel: one engine event per tick fans out
+  // to every attached HLS viewer, so scheduling cost scales with edges,
+  // not viewers. Created lazily on first use with the session's poll
+  // geometry (the wheel keeps the geometry it was created with); the
+  // session wires the fan-out callback. Edges whose cohort is never
+  // wheel-driven pay nothing.
+
+  /// Returns the wheel, creating it with (period, buckets) if absent.
+  sim::PollWheel& poll_wheel(DurationUs period, std::uint32_t buckets);
+  /// The wheel if one exists (nullptr before first poll_wheel() call).
+  sim::PollWheel* poll_wheel() noexcept { return wheel_.get(); }
+  const sim::PollWheel* poll_wheel() const noexcept { return wheel_.get(); }
+
   /// Fault injection: the PoP dies (power event, regional blackout).
   /// While down the server is a dead socket — polls are dropped without a
   /// response (counted) and pending waiters are abandoned; clients detect
@@ -220,6 +237,7 @@ class EdgeServer {
   std::uint64_t capacity_ = 0;  // 0 = unbounded
   std::uint64_t attached_ = 0;
   std::uint64_t peak_attached_ = 0;
+  std::unique_ptr<sim::PollWheel> wheel_;
   DurationUs retry_backoff_ = 250 * time::kMillisecond;
   std::uint32_t max_attempts_ = 4;
 };

@@ -280,8 +280,7 @@ void BroadcastSession::on_edge_down(const fault::FaultEvent& e) {
 void BroadcastSession::migrate_rtmp_viewer(Viewer& v, TimeUs crashed_at) {
   // Kill the old pipeline first so in-flight deliveries are dropped.
   ++v.generation;
-  if (v.poll_process) v.poll_process->stop();
-  v.poll_outstanding = false;
+  teardown_polling(v);
   v.hls = true;
 
   // Anycast only lands on a live PoP: a regional event that took the
@@ -331,9 +330,13 @@ void BroadcastSession::migrate_hls_viewer(
   // by ring when nearer PoPs are full. The client flushes its pipeline a
   // second time (new pre-buffer), and the cold path to the new edge
   // shows up as the re-anchored first-chunk latency.
-  ++v.generation;  // drop responses in flight from the dead attachment
-  if (v.poll_process) v.poll_process->stop();
-  v.poll_outstanding = false;
+  // Drop responses in flight from the dead attachment; the generation
+  // bump before the teardown is what keeps a stale in-flight poll from
+  // double-counting or leaking its outstanding flag into the new edge's
+  // cohort — the fresh wheel slot (or bool) starts clear, and every
+  // closure of the old transaction fails its generation check.
+  ++v.generation;
+  teardown_polling(v);
   detach_from_edge(v);  // the dead PoP sheds its audience
 
   // `exclude` carries the triggering event's dark set (which contains
@@ -374,8 +377,7 @@ void BroadcastSession::rejoin_rtmp_viewer(Viewer& v) {
   // resume on the persistent RTMP subscription, which delivers again as
   // soon as v.hls is false.
   ++v.generation;
-  if (v.poll_process) v.poll_process->stop();
-  v.poll_outstanding = false;
+  teardown_polling(v);
   detach_from_edge(v);  // the HLS attachment is torn down
   v.hls = false;
   v.failover_crash_at = -1;  // any unfinished failover measurement is moot
@@ -464,6 +466,7 @@ std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
   v->hls = hls;
   v->was_rtmp = !hls;
   v->location = location;
+  v->index = viewers_.size();  // the wheel's opaque member tag
 
   auto link_params = config_.viewer_last_mile;
   if (v->hls) {
@@ -521,7 +524,7 @@ void BroadcastSession::remove_viewer(std::size_t index) {
   auto& v = *viewers_.at(index);
   if (!v.active) return;
   v.active = false;
-  if (v.poll_process) v.poll_process->stop();
+  teardown_polling(v);
   // Orphans already shed their (dead) attachment during the failed
   // migration; detaching again would steal a slot from someone else.
   if (v.hls && !v.orphaned) detach_from_edge(v);
@@ -563,77 +566,206 @@ void BroadcastSession::record_hls_chunk(Viewer& v, const media::Chunk& c,
   v.playback->on_arrival(recv_time, c.first_capture_ts, c.duration);
 }
 
-void BroadcastSession::start_hls_polling(Viewer& v) {
-  auto* viewer = &v;
-  auto& edge = edge_for(v.attachment);
-  auto* eptr = &edge;
-  // Attachment epoch this polling loop belongs to. Every closure below
-  // checks it: after a migration the client closed this connection, so a
-  // response still in flight from the old edge must evaporate instead of
-  // landing in the new pipeline.
-  const std::uint64_t gen = v.generation;
+DurationUs BroadcastSession::poll_slot_width() const noexcept {
+  const auto slots = std::max<std::uint32_t>(1, config_.poll_wheel_slots);
+  const DurationUs w = config_.hls_poll_interval / slots;
+  return w < 1 ? 1 : w;
+}
 
+DurationUs BroadcastSession::effective_poll_interval() const noexcept {
+  return poll_slot_width() * std::max<std::uint32_t>(1,
+                                                     config_.poll_wheel_slots);
+}
+
+TimeUs BroadcastSession::quantized_poll_phase() {
   // Random poll phase: viewers are not synchronized with chunk arrivals,
   // which is exactly what makes the polling delay a uniform-ish draw over
-  // the interval (§5.2).
-  const TimeUs phase =
+  // the interval (§5.2). Quantized onto the wheel grid — the smallest
+  // slot boundary at or past the raw phase, strictly after now — so the
+  // wheel lane and the per-viewer-timer lane tick at identical instants.
+  const TimeUs raw =
       sim_.now() + static_cast<TimeUs>(rng_.uniform() *
                                        static_cast<double>(
                                            config_.hls_poll_interval));
+  const DurationUs w = poll_slot_width();
+  TimeUs t = ((raw + w - 1) / w) * w;
+  if (t <= sim_.now()) t = (sim_.now() / w + 1) * w;
+  return t;
+}
 
+sim::PollWheel& BroadcastSession::wheel_for(cdn::EdgeServer& edge) {
+  const bool fresh = edge.poll_wheel() == nullptr;
+  auto& wheel = edge.poll_wheel(config_.hls_poll_interval,
+                                std::max<std::uint32_t>(
+                                    1, config_.poll_wheel_slots));
+  if (fresh) {
+    wheel.set_fanout(
+        [this](TimeUs tick, std::uint64_t tag, sim::CohortSlot) {
+          Viewer& v = *viewers_[static_cast<std::size_t>(tag)];
+          if (poll_tick(v, tick)) return;
+          // Broadcast horizon passed: leave the cohort so the wheel stops
+          // scheduling once its last member is gone and the run drains.
+          if (v.cohort_wheel != nullptr) {
+            v.cohort_wheel->detach(v.cohort);
+            v.cohort_wheel = nullptr;
+            v.cohort = sim::CohortSlot{};
+          }
+        });
+  }
+  return wheel;
+}
+
+bool BroadcastSession::poll_outstanding(const Viewer& v) const {
+  if (v.cohort_wheel != nullptr && v.cohort_wheel->attached(v.cohort))
+    return v.cohort_wheel->outstanding(v.cohort);
+  return v.poll_outstanding;
+}
+
+void BroadcastSession::set_poll_outstanding(Viewer& v, bool value) {
+  if (v.cohort_wheel != nullptr && v.cohort_wheel->attached(v.cohort)) {
+    v.cohort_wheel->set_outstanding(v.cohort, value);
+    return;
+  }
+  v.poll_outstanding = value;
+}
+
+void BroadcastSession::teardown_polling(Viewer& v) {
+  if (v.poll_process) v.poll_process->stop();
+  if (v.cohort_wheel != nullptr) {
+    v.cohort_wheel->detach(v.cohort);
+    v.cohort_wheel = nullptr;
+    v.cohort = sim::CohortSlot{};
+  }
+  if (v.retry_event.valid()) {
+    sim_.cancel(v.retry_event);
+    v.retry_event = sim::EventHandle{};
+  }
+  v.poll_outstanding = false;
+}
+
+void BroadcastSession::start_hls_polling(Viewer& v) {
+  const TimeUs phase = quantized_poll_phase();
+
+  if (config_.poll_wheel) {
+    // Wheel lane: the viewer joins its edge's cohort; one engine event
+    // per edge per tick fans out to everyone due in that bucket.
+    auto& wheel = wheel_for(edge_for(v.attachment));
+    v.cohort_wheel = &wheel;
+    v.cohort = wheel.attach(phase, static_cast<std::uint64_t>(v.index));
+    return;
+  }
+
+  // Timer lane (the reference path): one PeriodicProcess per viewer on
+  // the same quantized grid, running the same transaction — byte-
+  // identical results at O(viewers) engine cost.
+  auto* viewer = &v;
+  // Attachment epoch this polling loop belongs to: after a migration the
+  // client closed this connection, so a tick from the stale timer must
+  // stop instead of polling the new attachment.
+  const std::uint64_t gen = v.generation;
   v.poll_process = std::make_unique<sim::PeriodicProcess>(
-      sim_, phase, config_.hls_poll_interval,
-      [this, viewer, eptr, gen](sim::PeriodicProcess& proc) {
-        if (viewer->generation != gen) {
+      sim_, phase, effective_poll_interval(),
+      [this, viewer, gen](sim::PeriodicProcess& proc) {
+        if (viewer->generation != gen || !poll_tick(*viewer, sim_.now()))
           proc.stop();
-          return;
-        }
-        if (sim_.now() >
-            start_time_ + config_.broadcast_len + 20 * time::kSecond) {
-          proc.stop();
-          return;
-        }
-        if (viewer->poll_outstanding) return;  // one request in flight
-        viewer->poll_outstanding = true;
-        const DurationUs req_d = viewer->link->sample_delay(kPollRequestBytes);
-        sim_.schedule_in(req_d, [this, viewer, eptr, gen] {
+      });
+}
+
+bool BroadcastSession::poll_tick(Viewer& v, TimeUs tick_time) {
+  if (tick_time > start_time_ + config_.broadcast_len + 20 * time::kSecond)
+    return false;
+  if (poll_outstanding(v)) return true;  // one request in flight
+  set_poll_outstanding(v, true);
+
+  auto* viewer = &v;
+  auto* eptr = &edge_for(v.attachment);
+  // Attachment epoch this request belongs to. Every closure below checks
+  // it: after a migration the client closed this connection, so a
+  // response still in flight from the old edge must evaporate instead of
+  // landing in the new pipeline.
+  const std::uint64_t gen = v.generation;
+  if (config_.hls_poll_retry) arm_poll_timeout(v, gen);
+
+  const DurationUs req_d = viewer->link->sample_delay(kPollRequestBytes);
+  sim_.schedule_in(req_d, [this, viewer, eptr, gen] {
+    if (viewer->generation != gen) return;
+    const TimeUs poll_at_edge = sim_.now();
+    eptr->on_poll(
+        viewer->last_seq,
+        [this, viewer, gen, poll_at_edge](
+            TimeUs served_at, std::vector<media::Chunk> fresh) {
           if (viewer->generation != gen) return;
-          const TimeUs poll_at_edge = sim_.now();
-          eptr->on_poll(
-              viewer->last_seq,
-              [this, viewer, gen, poll_at_edge](
-                  TimeUs served_at, std::vector<media::Chunk> fresh) {
+          std::uint64_t bytes = kPlaylistBytes;
+          for (const auto& c : fresh) bytes += c.size_bytes;
+          const DurationUs resp_d = viewer->link->sample_delay(bytes);
+          sim_.schedule_in(
+              resp_d, [this, viewer, gen, poll_at_edge, served_at,
+                       resp_d, fresh = std::move(fresh)] {
                 if (viewer->generation != gen) return;
-                std::uint64_t bytes = kPlaylistBytes;
-                for (const auto& c : fresh) bytes += c.size_bytes;
-                const DurationUs resp_d = viewer->link->sample_delay(bytes);
-                sim_.schedule_in(
-                    resp_d, [this, viewer, gen, poll_at_edge, served_at,
-                             resp_d, fresh = std::move(fresh)] {
-                      if (viewer->generation != gen) return;
-                      const TimeUs recv = served_at + resp_d;
-                      // Injected corruption window: the download fails its
-                      // integrity check and is discarded whole; the next
-                      // poll tick re-fetches (chunk re-fetch on corruption).
-                      if (recv < corruption_until_ && !fresh.empty() &&
-                          rng_.bernoulli(corruption_prob_)) {
-                        ++corrupted_downloads_;
-                        viewer->poll_outstanding = false;
-                        return;
-                      }
-                      for (const auto& c : fresh) {
-                        if (static_cast<std::int64_t>(c.seq) <=
-                            viewer->last_seq)
-                          continue;
-                        viewer->last_seq = static_cast<std::int64_t>(c.seq);
-                        record_hls_chunk(*viewer, c, poll_at_edge, recv,
-                                         resp_d);
-                      }
-                      viewer->poll_outstanding = false;
-                    });
+                const TimeUs recv = served_at + resp_d;
+                // Injected corruption window: the download fails its
+                // integrity check and is discarded whole; the next
+                // poll tick re-fetches (chunk re-fetch on corruption).
+                if (recv < corruption_until_ && !fresh.empty() &&
+                    rng_.bernoulli(corruption_prob_)) {
+                  ++corrupted_downloads_;
+                  set_poll_outstanding(*viewer, false);
+                  return;
+                }
+                for (const auto& c : fresh) {
+                  if (static_cast<std::int64_t>(c.seq) <= viewer->last_seq)
+                    continue;
+                  viewer->last_seq = static_cast<std::int64_t>(c.seq);
+                  record_hls_chunk(*viewer, c, poll_at_edge, recv, resp_d);
+                }
+                set_poll_outstanding(*viewer, false);
+                if (config_.hls_poll_retry) poll_succeeded(*viewer);
               });
         });
-      });
+  });
+  return true;
+}
+
+void BroadcastSession::arm_poll_timeout(Viewer& v, std::uint64_t gen) {
+  auto* viewer = &v;
+  sim_.schedule_in(config_.poll_retry_timeout, [this, viewer, gen] {
+    if (viewer->generation != gen) return;
+    if (!poll_outstanding(*viewer)) return;  // answered in time
+    // Unanswered (dead edge, abandoned waiter): the client's request
+    // timer fires. Clear the wedged flag and demote to the retry lane.
+    set_poll_outstanding(*viewer, false);
+    poll_failed(*viewer, gen);
+  });
+}
+
+void BroadcastSession::poll_failed(Viewer& v, std::uint64_t gen) {
+  if (!v.retry)
+    v.retry = std::make_unique<client::PollRetryState>(config_.poll_retry);
+  if (!v.retry_rng) v.retry_rng = std::make_unique<Rng>(rng_.fork());
+
+  // Solo-timer demotion: the viewer leaves the wheel (or stops its
+  // timer); PollRetryState alone paces the next attempt, so backoff
+  // timing is exactly the client/retry.h schedule, never wheel-aligned.
+  teardown_polling(v);
+  const auto retry_at = v.retry->on_failure(sim_.now(), *v.retry_rng);
+  if (!retry_at) return;  // gave up: inert until failover rescues it
+  auto* viewer = &v;
+  v.retry_event = sim_.schedule_at(*retry_at, [this, viewer, gen] {
+    viewer->retry_event = sim::EventHandle{};
+    if (viewer->generation != gen) return;
+    poll_tick(*viewer, sim_.now());  // one solo attempt; its own timeout
+                                     // or success decides what's next
+  });
+}
+
+void BroadcastSession::poll_succeeded(Viewer& v) {
+  if (v.retry) v.retry->on_success();
+  // Re-promote a demoted viewer to the steady-state tick source (fresh
+  // quantized phase). No-op while a wheel slot or timer is live.
+  const bool attached =
+      (v.cohort_wheel != nullptr && v.cohort_wheel->attached(v.cohort)) ||
+      (v.poll_process && v.poll_process->running());
+  if (!attached) start_hls_polling(v);
 }
 
 void BroadcastSession::finalize() {

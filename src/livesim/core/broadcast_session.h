@@ -23,6 +23,7 @@
 #include "livesim/cdn/servers.h"
 #include "livesim/cdn/w2f.h"
 #include "livesim/client/playback.h"
+#include "livesim/client/retry.h"
 #include "livesim/core/delay_breakdown.h"
 #include "livesim/fault/fault.h"
 #include "livesim/fault/injector.h"
@@ -59,6 +60,32 @@ struct SessionConfig {
   DurationUs hls_poll_interval = time::from_seconds(2.8);
   DurationUs rtmp_prebuffer = 1 * time::kSecond;
   DurationUs hls_prebuffer = 9 * time::kSecond;
+
+  /// Poll aggregation (the flash-crowd fast path). When true, HLS viewers
+  /// are driven by their edge's bucketed sim::PollWheel — one engine
+  /// event per edge per tick fans out to the whole attached cohort — so
+  /// scheduling cost scales with edges, not viewers. When false, every
+  /// viewer owns a PeriodicProcess (the reference path). Both paths
+  /// quantize poll phases onto the same poll_wheel_slots grid and share
+  /// one poll transaction, so results are byte-identical either way.
+  bool poll_wheel = true;
+  /// Wheel buckets per rotation; slot width = hls_poll_interval / slots.
+  /// The effective poll interval is slot_width * slots (exact for the
+  /// 2.8 s / 64 default).
+  std::uint32_t poll_wheel_slots = 64;
+
+  /// Opt-in client poll retry (the solo-timer demotion lane). Off (the
+  /// default): an unanswered poll wedges the outstanding flag and the
+  /// viewer stops polling until failover migrates it — the historical
+  /// behaviour, bit for bit. On: a poll unanswered after
+  /// poll_retry_timeout demotes the viewer from the wheel (or stops its
+  /// timer) to a solo one-shot timer paced by client::PollRetryState's
+  /// capped exponential backoff; the first answered poll re-promotes it
+  /// to the steady-state tick source with a fresh phase. A viewer whose
+  /// streak exhausts max_attempts goes inert until failover rescues it.
+  bool hls_poll_retry = false;
+  client::PollRetryState::Params poll_retry{};
+  DurationUs poll_retry_timeout = 1 * time::kSecond;
 
   /// Adds a 0.1 s poller at every edge (the paper's measurement crawler):
   /// keeps caches fresh and records chunk availability for Fig 15.
@@ -255,8 +282,25 @@ class BroadcastSession {
       bool hls = false;
     };
     std::vector<RetiredPhase> retired;
+    /// Index into viewers_ (the wheel's opaque member tag).
+    std::size_t index = 0;
+    /// Tick source, one of three mutually exclusive lanes:
+    ///  * wheel lane (config.poll_wheel): cohort names this viewer's slot
+    ///    on cohort_wheel, the wheel owned by its attached edge;
+    ///  * timer lane (!config.poll_wheel): poll_process, one periodic
+    ///    timer on the same quantized grid;
+    ///  * solo retry lane (config.hls_poll_retry, after a timeout):
+    ///    retry_event, one-shot attempts paced by PollRetryState.
     std::unique_ptr<sim::PeriodicProcess> poll_process;  // HLS only
+    sim::PollWheel* cohort_wheel = nullptr;
+    sim::CohortSlot cohort{};
+    sim::EventHandle retry_event{};
+    std::unique_ptr<client::PollRetryState> retry;  // lazily, first failure
+    std::unique_ptr<Rng> retry_rng;
     std::int64_t last_seq = -1;
+    /// One request in flight. While wheel-attached the authoritative bit
+    /// lives in the wheel's SoA cohort ledger; this bool covers the timer
+    /// and solo lanes (and viewers whose slot was just torn down).
     bool poll_outstanding = false;
     /// Attachment epoch: bumped at every migration so responses in flight
     /// from a previous attachment are dropped (the client closed that
@@ -280,8 +324,29 @@ class BroadcastSession {
   };
 
   cdn::EdgeServer& edge_for(DatacenterId site);
+  sim::PollWheel& wheel_for(cdn::EdgeServer& edge);
   void attach_rtmp_viewer(Viewer& v);
   void start_hls_polling(Viewer& v);
+  /// The shared poll transaction: horizon check, outstanding gate, then
+  /// the request leg -> edge poll -> response leg, identical RNG draws
+  /// and event structure whichever lane ticked it. Returns false when
+  /// polling for this viewer must end (broadcast horizon passed); the
+  /// caller tears down its tick source.
+  bool poll_tick(Viewer& v, TimeUs tick_time);
+  bool poll_outstanding(const Viewer& v) const;
+  void set_poll_outstanding(Viewer& v, bool value);
+  /// Stops every tick source (wheel slot, timer, solo retry event) and
+  /// clears the outstanding flag. Callers owning a migration bump the
+  /// generation first so in-flight responses evaporate.
+  void teardown_polling(Viewer& v);
+  /// Grid geometry shared by the wheel and the per-viewer timers.
+  DurationUs poll_slot_width() const noexcept;
+  DurationUs effective_poll_interval() const noexcept;
+  TimeUs quantized_poll_phase();
+  // Solo retry lane (config.hls_poll_retry only).
+  void arm_poll_timeout(Viewer& v, std::uint64_t gen);
+  void poll_failed(Viewer& v, std::uint64_t gen);
+  void poll_succeeded(Viewer& v);
   void record_hls_chunk(Viewer& v, const media::Chunk& c, TimeUs poll_at_edge,
                         TimeUs recv_time, DurationUs download_delay);
   void arm_faults();

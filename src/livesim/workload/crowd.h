@@ -1,0 +1,87 @@
+// Crowdsourced-platform audience presets: the flash-crowd workload shapes
+// the poll wheel exists for.
+//
+// The paper's Periscope workload is a power-law tail: millions of tiny
+// broadcasts, a handful of viral ones. The Zhang & Liu Twitch.TV
+// measurement study (PAPERS.md) describes the opposite regime --
+// crowdsourced *event* platforms concentrate the audience into a few
+// enormous long-lived channels, with join storms around scheduled
+// moments and heavy viewer churn throughout. These presets generate that
+// regime (and a Periscope-like tail for contrast) as per-viewer
+// join/stay records, deterministically at any thread count: viewer i
+// always draws from substream_seed(seed, i), and outputs land in slot i,
+// so the merge is independent of scheduling (sim/parallel.h contract).
+#ifndef LIVESIM_WORKLOAD_CROWD_H
+#define LIVESIM_WORKLOAD_CROWD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "livesim/util/time.h"
+
+namespace livesim::workload {
+
+struct CrowdPreset {
+  std::string name;
+  std::uint32_t channels = 100;
+  /// Zipf exponent of audience concentration across channels: higher =
+  /// more of the crowd piled onto the top channel.
+  double channel_zipf_s = 1.5;
+  std::uint32_t viewers = 20000;  // viewer sessions over the horizon
+  DurationUs horizon = 30 * time::kMinute;
+  /// Watch time: exponential with this mean, truncated to the horizon.
+  double mean_session_s = 300.0;
+  /// Join storm: arrivals inside the window
+  /// [spike_at, spike_at + spike_ramp) occur at spike_amplitude times the
+  /// background rate (1.0 = no spike, uniform arrivals).
+  double spike_at_frac = 0.5;
+  double spike_amplitude = 1.0;
+  double spike_ramp_s = 60.0;
+
+  /// Twitch-style event spike: few huge channels, a hard join storm at
+  /// the half-hour mark, sessions short enough that churn never stops.
+  static CrowdPreset twitch_flash_crowd();
+  /// Twitch-style steady state: a handful of giant long-lived channels,
+  /// long sessions, low churn, no spike.
+  static CrowdPreset twitch_steady_giants();
+  /// Periscope-style tail for contrast: thousands of small channels,
+  /// short sessions, mild concentration.
+  static CrowdPreset periscope_tail();
+};
+
+/// One viewer session: which channel, when it joined, how long it stayed.
+struct CrowdRecord {
+  std::uint32_t channel = 0;  // rank, 0 = the most popular channel
+  TimeUs join = 0;            // relative to the horizon start
+  DurationUs stay = 0;
+};
+
+/// Generates `preset.viewers` records. Record i depends only on
+/// (preset, seed, i), so the output is byte-identical at every thread
+/// count (0 = all hardware threads).
+std::vector<CrowdRecord> generate_crowd(const CrowdPreset& preset,
+                                        std::uint64_t seed,
+                                        unsigned threads = 1);
+
+/// Calibration summary the preset smoke tests pin tolerance bands on.
+struct CrowdShape {
+  double top_channel_share = 0.0;  // viewers on the biggest channel
+  std::uint32_t peak_concurrent = 0;
+  TimeUs peak_at = 0;
+  double peak_to_mean = 0.0;       // spike amplitude, as measured
+  /// Join + leave events per minute per mean concurrent viewer: how fast
+  /// the attached cohort turns over (what attach/detach must survive).
+  double churn_per_min = 0.0;
+};
+
+CrowdShape crowd_shape(const std::vector<CrowdRecord>& records,
+                       DurationUs horizon,
+                       DurationUs bin = time::kSecond);
+
+/// FNV-1a over every record field, in index order: the determinism pin.
+std::uint64_t crowd_fingerprint(const std::vector<CrowdRecord>& records);
+
+}  // namespace livesim::workload
+
+#endif  // LIVESIM_WORKLOAD_CROWD_H

@@ -22,6 +22,7 @@
 #include "livesim/core/service.h"
 #include "livesim/fault/scenario.h"
 #include "livesim/sim/parallel.h"
+#include "livesim/workload/crowd.h"
 
 namespace {
 using namespace livesim;
@@ -897,6 +898,37 @@ TEST(CapacitySpill, ServiceAggregatesSpillLedgersAcrossBroadcasts) {
       EXPECT_EQ(peak, 6u);
     }
   EXPECT_TRUE(found);
+}
+
+// --- 9. Flash-crowd workload determinism ------------------------------
+
+// The crowd generator feeds the poll-wheel flash-crowd scenarios; its
+// records must merge identically at any thread count (record i depends
+// only on substream_seed(seed, i) and lands in slot i).
+TEST(CrowdDeterminism, FlashCrowdByteIdenticalAtThreads128) {
+  const auto preset = workload::CrowdPreset::twitch_flash_crowd();
+  const auto r1 = workload::generate_crowd(preset, 77, 1);
+  ASSERT_EQ(r1.size(), preset.viewers);
+  const std::uint64_t fp1 = workload::crowd_fingerprint(r1);
+  for (unsigned threads : {2u, 8u}) {
+    const auto rn = workload::generate_crowd(preset, 77, threads);
+    EXPECT_EQ(fp1, workload::crowd_fingerprint(rn))
+        << "crowd generation diverged at threads=" << threads;
+  }
+}
+
+TEST(CrowdDeterminism, EveryPresetThreadInvariantAndSeedSensitive) {
+  for (const auto& preset : {workload::CrowdPreset::twitch_flash_crowd(),
+                             workload::CrowdPreset::twitch_steady_giants(),
+                             workload::CrowdPreset::periscope_tail()}) {
+    const auto a = workload::generate_crowd(preset, 9, 1);
+    const auto b = workload::generate_crowd(preset, 9, 8);
+    EXPECT_EQ(workload::crowd_fingerprint(a), workload::crowd_fingerprint(b))
+        << preset.name;
+    const auto c = workload::generate_crowd(preset, 10, 1);
+    EXPECT_NE(workload::crowd_fingerprint(a), workload::crowd_fingerprint(c))
+        << preset.name;
+  }
 }
 
 TEST(Failover, CorruptionWindowCountsDiscardedDownloads) {

@@ -2,6 +2,7 @@
 
 #include "livesim/stats/sampler.h"
 #include "livesim/stats/timeseries.h"
+#include "livesim/workload/crowd.h"
 #include "livesim/workload/generator.h"
 
 namespace livesim::workload {
@@ -234,6 +235,106 @@ TEST(Generator, HlsViewerPrevalenceMatchesPaper) {
   EXPECT_LT(any, 0.10);     // paper: 5.77%
   EXPECT_GT(hundred, 0.005);
   EXPECT_LT(hundred, 0.05); // paper: 2.2%
+}
+
+// --- Crowd presets (the flash-crowd poll-wheel workloads) -------------
+
+TEST(Crowd, RecordsStayInsideTheHorizon) {
+  for (const auto& preset : {CrowdPreset::twitch_flash_crowd(),
+                             CrowdPreset::twitch_steady_giants(),
+                             CrowdPreset::periscope_tail()}) {
+    const auto records = generate_crowd(preset, 3);
+    ASSERT_EQ(records.size(), preset.viewers);
+    for (const auto& r : records) {
+      EXPECT_LT(r.channel, preset.channels);
+      EXPECT_LT(r.join, preset.horizon);
+      EXPECT_GE(r.stay, 1);
+      EXPECT_LE(r.join + r.stay, preset.horizon);
+    }
+  }
+}
+
+TEST(Crowd, FlashCrowdShapeHasConcentrationAndAJoinStorm) {
+  const auto preset = CrowdPreset::twitch_flash_crowd();
+  const auto records = generate_crowd(preset, 7, 4);
+  const auto shape = crowd_shape(records, preset.horizon);
+  // Zipf(1.8) over 50 channels: the top channel holds roughly half the
+  // crowd (measured ~0.548 across seeds).
+  EXPECT_GT(shape.top_channel_share, 0.48);
+  EXPECT_LT(shape.top_channel_share, 0.62);
+  // The 8x join storm shows up as a sharp concurrency peak at the end of
+  // the ramp window [15 min, 17 min) -- well above the steady mean.
+  EXPECT_GT(shape.peak_to_mean, 2.3);
+  EXPECT_GE(shape.peak_at, preset.horizon / 2);
+  EXPECT_LE(shape.peak_at,
+            preset.horizon / 2 + 2 * time::from_seconds(preset.spike_ramp_s));
+  // Arrival mixture: amplitude 8 over a 120 s window of the 30 min
+  // horizon puts ~8/22 of all joins inside the window.
+  std::uint64_t in_spike = 0;
+  const auto spike_start = static_cast<TimeUs>(preset.horizon / 2);
+  const auto spike_len = time::from_seconds(preset.spike_ramp_s);
+  for (const auto& r : records)
+    if (r.join >= spike_start && r.join < spike_start + spike_len) ++in_spike;
+  const double frac =
+      static_cast<double>(in_spike) / static_cast<double>(records.size());
+  EXPECT_NEAR(frac, 8.0 / 22.0, 0.04);
+}
+
+TEST(Crowd, SteadyGiantsShapeIsFlatAndConcentrated) {
+  const auto preset = CrowdPreset::twitch_steady_giants();
+  const auto records = generate_crowd(preset, 7, 4);
+  const auto shape = crowd_shape(records, preset.horizon);
+  // Zipf(2.0) over 20 channels: even heavier concentration (~0.63).
+  EXPECT_GT(shape.top_channel_share, 0.55);
+  EXPECT_LT(shape.top_channel_share, 0.70);
+  // No storm: concurrency just accumulates, peak stays near the mean.
+  EXPECT_LT(shape.peak_to_mean, 1.9);
+}
+
+TEST(Crowd, PeriscopeTailIsDiffuseAndChurny) {
+  const auto tail = CrowdPreset::periscope_tail();
+  const auto tail_shape =
+      crowd_shape(generate_crowd(tail, 7, 4), tail.horizon);
+  // Thousands of small channels: no channel dominates, no storm.
+  EXPECT_LT(tail_shape.top_channel_share, 0.25);
+  EXPECT_LT(tail_shape.peak_to_mean, 1.5);
+
+  // Cross-preset ordering: short 90 s sessions churn the attached cohort
+  // far faster than the 20-minute steady-giant sessions, with the
+  // flash-crowd preset in between -- the regime the wheel's attach/
+  // detach path is sized for.
+  const auto steady = CrowdPreset::twitch_steady_giants();
+  const auto steady_shape =
+      crowd_shape(generate_crowd(steady, 7, 4), steady.horizon);
+  const auto flash = CrowdPreset::twitch_flash_crowd();
+  const auto flash_shape =
+      crowd_shape(generate_crowd(flash, 7, 4), flash.horizon);
+  EXPECT_GT(tail_shape.churn_per_min, flash_shape.churn_per_min);
+  EXPECT_GT(flash_shape.churn_per_min, steady_shape.churn_per_min);
+}
+
+TEST(Crowd, ShapeIsStableAcrossSeeds) {
+  // The tolerance bands above must hold for any seed, not one lucky
+  // draw: spot-check the load-bearing flash-crowd numbers across seeds.
+  const auto preset = CrowdPreset::twitch_flash_crowd();
+  for (std::uint64_t seed : {7, 21, 99}) {
+    const auto shape = crowd_shape(generate_crowd(preset, seed), preset.horizon);
+    EXPECT_GT(shape.top_channel_share, 0.48) << seed;
+    EXPECT_LT(shape.top_channel_share, 0.62) << seed;
+    EXPECT_GT(shape.peak_to_mean, 2.3) << seed;
+  }
+}
+
+TEST(Crowd, FingerprintPinsTheExactRecordStream) {
+  const auto preset = CrowdPreset::twitch_flash_crowd();
+  const auto a = generate_crowd(preset, 42);
+  const auto b = generate_crowd(preset, 42);
+  EXPECT_EQ(crowd_fingerprint(a), crowd_fingerprint(b));
+  // The fingerprint covers every field of every record in order: any
+  // perturbation changes it.
+  auto mutated = a;
+  mutated[100].stay += 1;
+  EXPECT_NE(crowd_fingerprint(a), crowd_fingerprint(mutated));
 }
 
 }  // namespace
