@@ -25,7 +25,8 @@ cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
   || fail "configure with -fsanitize=thread did not succeed (compiler without TSan support?)"
 
 cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests \
-      livesim_engine_alloc_tests livesim_poll_wheel_tests -j \
+      livesim_engine_alloc_tests livesim_poll_wheel_tests \
+      livesim_control_tests -j \
   || fail "sanitized build did not succeed"
 
 [ -x "$BUILD"/tests/livesim_tests ] \
@@ -59,4 +60,12 @@ TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   "$BUILD"/tests/livesim_poll_wheel_tests \
   || fail "data race or test failure in the poll-wheel battery"
 
-echo "TSan check passed: no data races in the parallel runner, simulator, engine, or resilience experiment."
+# The control-plane battery: the steering experiment shards fault-
+# injected broadcasts over the pool (control_steering_experiment runs a
+# full capacity-spill sweep per thread count), so its determinism and
+# off-parity suites double as a race check on the scrape/publish path.
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_control_tests \
+  || fail "data race or test failure in the control-plane battery"
+
+echo "TSan check passed: no data races in the parallel runner, simulator, engine, resilience, or control-plane suites."

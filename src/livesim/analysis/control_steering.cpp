@@ -1,0 +1,51 @@
+#include "livesim/analysis/control_steering.h"
+
+#include <optional>
+
+#include "livesim/analysis/spill_detail.h"
+
+namespace livesim::analysis {
+
+ControlSteeringStats control_steering_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog,
+    const ControlSteeringConfig& config) {
+  const RegionalOutageConfig& base = config.spill.base;
+  ControlSteeringStats out;
+
+  // The steer instant is pure scrape arithmetic — no engine needs to
+  // spin for it. The monitor's ticks land at k * scrape_interval; the
+  // first tick STRICTLY after the outage is the first scrape that can
+  // see the dark edges (a tick at the outage instant races the blackout;
+  // we conservatively let the blackout win). steer_latency later the
+  // override is routing-visible.
+  std::optional<TimeUs> steer_at;
+  if (config.control.enabled && config.control.scrape_interval > 0) {
+    const TimeUs tick =
+        (base.outage_at / config.control.scrape_interval + 1) *
+        config.control.scrape_interval;
+    out.steer_published_at = tick + config.control.steer_latency;
+    out.proactive = true;
+    steer_at = out.steer_published_at;
+  }
+
+  std::vector<detail::SpillPlan> plans;
+  out.spill =
+      detail::run_capacity_spill(traces, catalog, config.spill, steer_at,
+                                 &plans);
+
+  // Detection-time distributions, canonical (trace, viewer) order. The
+  // reactive instant is reconstructed from the recorded first dark poll,
+  // so one run yields both distributions over the same viewers.
+  for (const detail::SpillPlan& p : plans) {
+    if (!p.affected) continue;
+    const TimeUs reactive_t = p.first_dark_poll + base.detect_timeout;
+    out.reactive_detect_s.add(time::to_seconds(reactive_t - base.outage_at));
+    out.proactive_detect_s.add(
+        time::to_seconds(p.decision_t - base.outage_at));
+    if (p.decision_t < reactive_t) ++out.steered_early;
+  }
+  return out;
+}
+
+}  // namespace livesim::analysis

@@ -5,7 +5,9 @@
 #include <cstddef>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
+#include "livesim/analysis/spill_detail.h"
 #include "livesim/fault/backoff.h"
 #include "livesim/sim/parallel.h"
 
@@ -13,9 +15,11 @@ namespace livesim::analysis {
 
 namespace {
 
-// Same last-mile constants as the §6 buffering experiments.
+// Same last-mile constants as the §6 buffering experiments. The HLS
+// download constant lives in spill_detail.h, shared with the steering
+// driver.
 constexpr DurationUs kRtmpLastMile = 80 * time::kMillisecond;
-constexpr DurationUs kHlsDownload = 150 * time::kMillisecond;
+constexpr DurationUs kHlsDownload = detail::kHlsDownload;
 
 // Salt for the fault-script substream: broadcast i's fault schedule and
 // its viewer jitter come from unrelated streams, so adding a draw to one
@@ -359,37 +363,16 @@ RegionalOutageStats regional_resilience_experiment(
   return out;
 }
 
-namespace {
-
-// Everything one capacity-spill viewer needs, split across the phases.
-// All RNG draws live in phase A; the walk itself is deterministic given
-// (avail, poll0, the admission outcome), which is what makes the serial
-// admission pass legal without replaying randomness.
-struct SpillPlan {
-  // phase A: draws + pre-walk
-  bool has_media = false;  // trace had media; the viewer exists at all
-  bool dark_member = false;
-  bool affected = false;   // pre-walk reached the re-anycast decision
-  TimeUs decision_t = 0;   // instant the re-anycast decision lands
-  std::uint64_t home = 0;  // load-blind anycast attachment
-  geo::GeoPoint loc{};
-  std::vector<TimeUs> avail;
-  TimeUs poll0 = 0;
-  // phase B: admission outcome
-  bool orphaned = false;
-  // phase A (unaffected) or C (affected): results
-  double stall = 0.0;
-  bool has_latency = false;
-  double latency_s = 0.0;
-};
+namespace detail {
 
 // The poll walk of simulate_regional_viewer, replayed from stored draws.
 // In probe mode (resolved == false) it stops at the re-anycast decision
-// point, records decision_t, and returns true; a viewer that never hits
-// the decision completes and scores. In resolve mode the admission
-// outcome in `plan` is applied: orphaned -> break (the missing tail
-// scores as stall), admitted -> migrate with the cold-cache penalty.
-// Every arithmetic step matches simulate_regional_viewer exactly — the
+// point, records first_dark_poll and the reactive decision_t, and
+// returns true; a viewer that never hits the decision completes and
+// scores. In resolve mode the admission outcome in `plan` is applied:
+// orphaned -> break (the missing tail scores as stall), admitted ->
+// migrate at plan.decision_t with the cold-cache penalty. Every
+// arithmetic step matches simulate_regional_viewer exactly — the
 // infinite-capacity parity contract depends on it.
 bool walk_spill_viewer(const BroadcastTrace& trace,
                        const RegionalOutageConfig& cfg, bool resolved,
@@ -417,6 +400,7 @@ bool walk_spill_viewer(const BroadcastTrace& trace,
         poll_t < outage_end) {
       hit = true;
       if (!resolved) {
+        plan.first_dark_poll = poll_t;
         plan.decision_t = poll_t + cfg.detect_timeout;
         return true;  // probe: the admission outcome is not known yet
       }
@@ -424,7 +408,11 @@ bool walk_spill_viewer(const BroadcastTrace& trace,
       migrated = true;
       awaiting_first = true;
       cold_penalty = cfg.w2f_offset;
-      poll_t += cfg.detect_timeout;
+      // Reactive: decision_t == first_dark_poll + detect_timeout, so
+      // this is the original `poll_t += detect_timeout`. Proactive
+      // steering may have clamped decision_t earlier (the published
+      // anycast override beat the client's own timeout).
+      poll_t = plan.decision_t;
       continue;
     }
 
@@ -454,11 +442,10 @@ bool walk_spill_viewer(const BroadcastTrace& trace,
   return hit;
 }
 
-}  // namespace
-
-CapacitySpillStats capacity_spill_experiment(
+CapacitySpillStats run_capacity_spill(
     const std::vector<BroadcastTrace>& traces,
-    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config) {
+    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config,
+    std::optional<TimeUs> steer_at, std::vector<SpillPlan>* plans_out) {
   const RegionalOutageConfig& base = config.base;
 
   // The dark set, computed once from (catalog, center, radius) — shared
@@ -514,6 +501,20 @@ CapacitySpillStats capacity_spill_experiment(
           }
         }
       });
+
+  // --- Steering overlay (serial, RNG-free): clamp decision instants ---
+  // A published anycast-map override lets an affected viewer's very next
+  // poll land on a live edge instead of burning the full detect window.
+  // The clamp keeps the client timeout as the worst case, so proactive
+  // never loses to reactive.
+  if (steer_at) {
+    for (SpillPlan& p : plans) {
+      if (!p.affected) continue;
+      p.decision_t =
+          std::clamp(*steer_at, p.first_dark_poll,
+                     p.first_dark_poll + base.detect_timeout);
+    }
+  }
 
   CapacitySpillStats out;
   out.dark_edges = dark.size();
@@ -602,7 +603,19 @@ CapacitySpillStats capacity_spill_experiment(
     out.stall_ratio.add(p.stall);
     if (p.has_latency) out.failover_latency_s.add(p.latency_s);
   }
+  if (plans_out) *plans_out = std::move(plans);
   return out;
+}
+
+}  // namespace detail
+
+CapacitySpillStats capacity_spill_experiment(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config) {
+  // No steer time, no plan capture: the reactive PR 4 baseline, byte for
+  // byte.
+  return detail::run_capacity_spill(traces, catalog, config, std::nullopt,
+                                    nullptr);
 }
 
 ResilienceStats resilience_experiment(

@@ -1,0 +1,84 @@
+// Internal: the capacity-spill 4-phase driver, shared between
+// capacity_spill_experiment (reactive baseline, PR 4) and
+// control_steering_experiment (proactive steering overlay).
+//
+// The driver is the determinism-critical core: (A) a parallel pre-walk
+// that replays each viewer's RNG draws in exactly the order
+// regional_resilience_experiment makes them and walks to the re-anycast
+// decision point; (B) a SERIAL admission pass in (decision time, trace,
+// viewer) order against the shared load ledger; (C) a parallel
+// resumption (no RNG after the decision); (D) serial sample emission in
+// canonical (trace, viewer) order.
+//
+// Steering hooks in without touching a single RNG draw: after phase A
+// the driver may clamp each affected viewer's decision instant to the
+// published steer time — decision_t = clamp(steer_at, first_dark_poll,
+// first_dark_poll + detect_timeout) — which models the anycast-map
+// override landing before the client's own timeout. With no steer time
+// the clamp is the identity (decision_t stays first_dark_poll +
+// detect_timeout) and the driver is byte-identical to PR 4's.
+//
+// Not installed; include via the source tree only.
+#ifndef LIVESIM_ANALYSIS_SPILL_DETAIL_H
+#define LIVESIM_ANALYSIS_SPILL_DETAIL_H
+
+#include <optional>
+#include <vector>
+
+#include "livesim/analysis/resilience.h"
+#include "livesim/geo/datacenters.h"
+#include "livesim/util/time.h"
+
+namespace livesim::analysis::detail {
+
+// Same last-mile HLS download constant as the §6 buffering experiments.
+inline constexpr DurationUs kHlsDownload = 150 * time::kMillisecond;
+
+// Everything one capacity-spill viewer needs, split across the phases.
+// All RNG draws live in phase A; the walk itself is deterministic given
+// (avail, poll0, the admission outcome), which is what makes the serial
+// admission pass legal without replaying randomness.
+struct SpillPlan {
+  // phase A: draws + pre-walk
+  bool has_media = false;  // trace had media; the viewer exists at all
+  bool dark_member = false;
+  bool affected = false;       // pre-walk reached the re-anycast decision
+  TimeUs first_dark_poll = 0;  // first poll that vanished into the dark PoP
+  TimeUs decision_t = 0;       // instant the re-anycast decision lands
+  std::uint64_t home = 0;      // load-blind anycast attachment
+  geo::GeoPoint loc{};
+  std::vector<TimeUs> avail;
+  TimeUs poll0 = 0;
+  // phase B: admission outcome
+  bool orphaned = false;
+  // phase A (unaffected) or C (affected): results
+  double stall = 0.0;
+  bool has_latency = false;
+  double latency_s = 0.0;
+};
+
+// The poll walk of simulate_regional_viewer, replayed from stored draws.
+// Probe mode (resolved == false): stops at the re-anycast decision
+// point, records first_dark_poll and the reactive decision_t, returns
+// true. Resolve mode: applies the admission outcome — orphaned -> break
+// (the missing tail scores as stall), admitted -> migrate at
+// plan.decision_t with the cold-cache penalty.
+bool walk_spill_viewer(const BroadcastTrace& trace,
+                       const RegionalOutageConfig& cfg, bool resolved,
+                       SpillPlan& plan);
+
+/// The shared 4-phase driver. `steer_at`, when set, is the engine time
+/// the anycast-map override became routing-visible; every affected
+/// viewer's decision instant is clamped into [first_dark_poll,
+/// first_dark_poll + detect_timeout] around it (proactive steering can
+/// only help, never hurt — the client timeout is the fallback).
+/// `plans_out`, when non-null, receives the per-viewer plans in
+/// canonical (trace, viewer) order for detection-time post-processing.
+CapacitySpillStats run_capacity_spill(
+    const std::vector<BroadcastTrace>& traces,
+    const geo::DatacenterCatalog& catalog, const CapacitySpillConfig& config,
+    std::optional<TimeUs> steer_at, std::vector<SpillPlan>* plans_out);
+
+}  // namespace livesim::analysis::detail
+
+#endif  // LIVESIM_ANALYSIS_SPILL_DETAIL_H

@@ -8,8 +8,10 @@ void IngestServer::on_frame(const media::VideoFrame& frame) {
   if (down_) {
     // Crashed server: the frame hit a dead socket and is gone.
     ++frames_dropped_;
+    ++frame_drop_streak_;
     return;
   }
+  frame_drop_streak_ = 0;
   ++frames_ingested_;
   cpu_.charge_frame_ingest();
   ingress_bytes_ += frame.size_bytes;
@@ -88,6 +90,7 @@ void EdgeServer::start_fetch(std::uint32_t attempt) {
     }
     if (!result) {
       ++fetch_failures_;
+      ++fetch_failure_streak_;
       if (attempt < max_attempts_) {
         // Retry with linear backoff; waiters keep waiting.
         sim_.schedule_in(retry_backoff_ * attempt,
@@ -102,6 +105,7 @@ void EdgeServer::start_fetch(std::uint32_t attempt) {
       return;
     }
     auto& fresh = *result;
+    fetch_failure_streak_ = 0;  // the origin path works again
     const TimeUs now = sim_.now();
     for (auto& c : fresh) {
       if (static_cast<std::int64_t>(c.seq) > cached_seq_) {

@@ -60,6 +60,12 @@ class IngestServer {
   void set_down(bool down) noexcept { down_ = down; }
   bool down() const noexcept { return down_; }
   std::uint64_t frames_dropped() const noexcept { return frames_dropped_; }
+  /// Consecutive frames dropped since the last successful ingest — the
+  /// health monitor's "is this box wedged right now" signal, where
+  /// frames_dropped() only says "has it ever dropped".
+  std::uint32_t frame_drop_streak() const noexcept {
+    return frame_drop_streak_;
+  }
 
   DatacenterId site() const noexcept { return site_; }
   const media::ChunkList& playlist() const noexcept {
@@ -85,6 +91,7 @@ class IngestServer {
   ChunkSink chunk_listener_;
   bool down_ = false;
   std::uint64_t frames_dropped_ = 0;
+  std::uint32_t frame_drop_streak_ = 0;
   std::uint64_t frames_ingested_ = 0;
   std::uint64_t egress_bytes_ = 0;
   std::uint64_t ingress_bytes_ = 0;
@@ -125,6 +132,12 @@ class EdgeServer {
   std::uint64_t polls_served() const noexcept { return polls_; }
   std::uint64_t origin_fetches() const noexcept { return fetches_; }
   std::uint64_t fetch_failures() const noexcept { return fetch_failures_; }
+  /// Consecutive origin-fetch failures since the last successful fetch.
+  /// fetch_failures() is cumulative and never resets; the streak is the
+  /// control plane's drain trigger ("the origin path is broken *now*").
+  std::uint32_t fetch_failure_streak() const noexcept {
+    return fetch_failure_streak_;
+  }
   /// Bytes served to HLS clients (chunks + playlists).
   std::uint64_t egress_bytes() const noexcept { return egress_bytes_; }
 
@@ -166,11 +179,22 @@ class EdgeServer {
     ++attached_;
     if (attached_ > peak_attached_) peak_attached_ = attached_;
   }
-  /// A viewer detached (leave, migration away, or their PoP died).
+  /// A viewer detached (leave, migration away, or their PoP died). A
+  /// detach with nothing attached is a caller bug (double-detach); the
+  /// count still clamps at zero so the load ledger never wraps, but the
+  /// underflow is recorded instead of silently masked — tests pin
+  /// detach_underflows() == 0 to prove attach/detach conservation.
   void detach() noexcept {
-    if (attached_ > 0) --attached_;
+    if (attached_ > 0)
+      --attached_;
+    else
+      ++detach_underflows_;
   }
   std::uint64_t attached() const noexcept { return attached_; }
+  /// detach() calls that found nothing attached (should stay 0).
+  std::uint64_t detach_underflows() const noexcept {
+    return detach_underflows_;
+  }
   /// High-water mark of concurrent attachments — the hotspot ledger a
   /// blackout pile-up shows up in.
   std::uint64_t peak_attached() const noexcept { return peak_attached_; }
@@ -232,11 +256,13 @@ class EdgeServer {
   std::uint64_t polls_dropped_ = 0;
   std::uint64_t fetches_ = 0;
   std::uint64_t fetch_failures_ = 0;
+  std::uint32_t fetch_failure_streak_ = 0;
   std::uint64_t cache_flushes_ = 0;
   std::uint64_t egress_bytes_ = 0;
   std::uint64_t capacity_ = 0;  // 0 = unbounded
   std::uint64_t attached_ = 0;
   std::uint64_t peak_attached_ = 0;
+  std::uint64_t detach_underflows_ = 0;
   std::unique_ptr<sim::PollWheel> wheel_;
   DurationUs retry_backoff_ = 250 * time::kMillisecond;
   std::uint32_t max_attempts_ = 4;

@@ -141,6 +141,11 @@ void BroadcastSession::start() {
       sim_.schedule_in(notice,
                        [eptr, seq = c.seq] { eptr->on_expire_notice(seq); });
     }
+    // Overlay assist armed: the origin also seeds the P2P mesh, so
+    // parked capacity orphans keep receiving the stream edge-free.
+    // (assist_mesh_ stays null without the control plane — no branch
+    // taken, no RNG drawn, disabled runs bit-identical.)
+    if (assist_mesh_) assist_mesh_->push_chunk(c);
   });
 
   // --- viewers ---
@@ -153,6 +158,96 @@ void BroadcastSession::start() {
   }
 
   arm_faults();
+  start_control_plane();
+}
+
+void BroadcastSession::start_control_plane() {
+  // Disabled: nothing is constructed and — critically — no substream is
+  // forked off rng_, so every subsequent draw matches the
+  // pre-control-plane sequence bit for bit.
+  if (!config_.control.enabled) return;
+  control_ = std::make_unique<control::ControlPlane>(sim_, config_.control,
+                                                     rng_.fork());
+  control_->set_steer_fn(
+      [this](const control::SteeringPolicy::Transition& t) { on_steer(t); });
+  control_->start([this] { return scrape_edges(); });
+  // Same grace window the crawler pollers use: scraping past the
+  // broadcast horizon would keep the engine's queue alive forever.
+  sim_.schedule_in(config_.broadcast_len + 20 * time::kSecond,
+                   [this] { control_->stop(); });
+}
+
+std::vector<control::EdgeSample> BroadcastSession::scrape_edges() const {
+  // Sorted-site-id order: the monitor's ledgers, the policy's decision
+  // stream, and every publication's engine-FIFO position all inherit
+  // their determinism from this sort.
+  std::vector<std::uint64_t> sites;
+  sites.reserve(edges_.size());
+  for (const auto& [site, edge] : edges_) sites.push_back(site);
+  std::sort(sites.begin(), sites.end());
+
+  const TimeUs now = sim_.now();
+  std::vector<control::EdgeSample> out;
+  out.reserve(sites.size());
+  for (std::uint64_t site : sites) {
+    const cdn::EdgeServer& edge = *edges_.at(site);
+    control::EdgeSample s;
+    s.site = site;
+    s.attached = edge.attached();
+    s.capacity = edge.capacity();
+    s.fetch_failures = edge.fetch_failures();
+    s.failure_streak = edge.fetch_failure_streak();
+    s.cohort = edge.poll_wheel() != nullptr ? edge.poll_wheel()->size() : 0;
+    // The scrape probe: a dead box answers nothing. The down-window map
+    // covers sites whose EdgeServer flag was never flipped.
+    s.down = edge.down() || edge_site_down(site, now);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void BroadcastSession::on_steer(
+    const control::SteeringPolicy::Transition& t) {
+  // Draining/dead sites are already routing-invisible via the published
+  // override set (nearest_live_edge consults control_->avoid). The one
+  // transition that demands action is a published death: migrate the
+  // attached viewers NOW instead of letting each burn its own poll
+  // timeout + detect window. The dead site rides in `exclude` so the
+  // migration can never land back on it, and the later reactive
+  // on_edge_down sweep skips these viewers (their attachment changed).
+  if (t.to != control::EdgeHealth::kDead) return;
+  const std::uint64_t dark[] = {t.site};
+  for (auto& vp : viewers_) {
+    Viewer& v = *vp;
+    if (!v.active || !v.hls || v.orphaned || v.on_mesh) continue;
+    if (v.attachment.value != t.site) continue;
+    ++proactive_migrations_;
+    migrate_hls_viewer(v, t.decided_at, dark);
+  }
+}
+
+bool BroadcastSession::rescue_on_mesh(Viewer& v) {
+  if (!control_ || !control_->overlay_assist_active()) return false;
+  if (!assist_mesh_) {
+    assist_mesh_ = std::make_unique<overlay::P2PMesh>(
+        sim_, config_.control.mesh, control_->fork_rng());
+  }
+  ++overlay_assists_;
+  v.on_mesh = true;
+  v.attachment = DatacenterId{};  // no edge holds this viewer
+  v.retired.push_back({std::move(v.playback), /*hls=*/true});
+  v.playback =
+      std::make_unique<client::PlaybackSchedule>(config_.hls_prebuffer);
+  auto* viewer = &v;
+  const std::uint64_t gen = v.generation;
+  v.mesh_peer = assist_mesh_->join(
+      [this, viewer, gen](const media::Chunk& c, TimeUs at, std::uint32_t) {
+        if (viewer->generation != gen || !viewer->active) return;
+        if (static_cast<std::int64_t>(c.seq) <= viewer->last_seq) return;
+        viewer->last_seq = static_cast<std::int64_t>(c.seq);
+        viewer->playback->on_arrival(at, c.first_capture_ts, c.duration);
+      });
+  return true;
 }
 
 void BroadcastSession::arm_faults() {
@@ -269,7 +364,9 @@ void BroadcastSession::on_edge_down(const fault::FaultEvent& e) {
                    [this, now, dark = std::move(dark)] {
     for (auto& vp : viewers_) {
       Viewer& v = *vp;
-      if (!v.active || !v.hls || v.orphaned) continue;
+      // on_mesh viewers have no edge attachment to lose; viewers the
+      // control plane already steered away no longer match the dark set.
+      if (!v.active || !v.hls || v.orphaned || v.on_mesh) continue;
       const bool hit = std::find(dark.begin(), dark.end(),
                                  v.attachment.value) != dark.end();
       if (hit) migrate_hls_viewer(v, now, dark);
@@ -346,6 +443,10 @@ void BroadcastSession::migrate_hls_viewer(
   // failed it.
   const EdgeSelection sel = nearest_live_edge(v.location, sim_.now(), exclude);
   if (sel.dc == nullptr) {
+    // A capacity orphan (some live edge existed but was full) is the
+    // overlay assist's case: when the control plane has armed the mesh,
+    // park the viewer there instead of freezing their playback.
+    if (sel.saw_full && rescue_on_mesh(v)) return;
     v.orphaned = true;
     ++orphaned_viewers_;
     return;
@@ -414,6 +515,10 @@ BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
   for (const geo::Datacenter* dc : catalog_.k_nearest(
            p, geo::CdnRole::kEdge, config_.failover_spill_k, excl)) {
     if (edge_site_down(dc->id.value, now)) continue;
+    // Published anycast-map override: the control plane decided this
+    // site is draining or dead, so routing steers around it — new joins
+    // and failover re-anycast alike — before client timeouts would.
+    if (control_ && control_->avoid(dc->id.value)) continue;
     const double km = geo::haversine_km(p, dc->location);
     if (nearest_live_km < 0.0) nearest_live_km = km;
     if (respect_capacity) {
@@ -429,8 +534,10 @@ BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
     sel.distance_km = km;
     sel.overshoot_km = km - nearest_live_km;
     sel.spilled = skipped_full;
+    sel.saw_full = skipped_full;
     return sel;
   }
+  sel.saw_full = skipped_full;
   return sel;  // every candidate dark, excluded, or full
 }
 
@@ -525,6 +632,12 @@ void BroadcastSession::remove_viewer(std::size_t index) {
   if (!v.active) return;
   v.active = false;
   teardown_polling(v);
+  if (v.on_mesh) {
+    // Mesh-parked viewers hold a peer slot, not an edge slot.
+    if (assist_mesh_) assist_mesh_->leave(v.mesh_peer);
+    v.on_mesh = false;
+    return;
+  }
   // Orphans already shed their (dead) attachment during the failed
   // migration; detaching again would steal a slot from someone else.
   if (v.hls && !v.orphaned) detach_from_edge(v);

@@ -24,6 +24,7 @@
 #include "livesim/cdn/w2f.h"
 #include "livesim/client/playback.h"
 #include "livesim/client/retry.h"
+#include "livesim/control/health_monitor.h"
 #include "livesim/core/delay_breakdown.h"
 #include "livesim/fault/fault.h"
 #include "livesim/fault/injector.h"
@@ -126,6 +127,19 @@ struct SessionConfig {
   /// may consider before orphaning: the spill rings. 0 = the entire
   /// footprint.
   std::uint32_t failover_spill_k = 0;
+
+  /// Proactive control plane (control/health_monitor.h). Disabled (the
+  /// default): nothing is constructed, no RNG substream is forked, and
+  /// the session is bit-for-bit identical to the pre-control-plane
+  /// behaviour. Enabled: a HealthMonitor scrapes every instantiated edge
+  /// on scrape_interval, the SteeringPolicy publishes anycast-map
+  /// overrides steer_latency later, and new joins + failover re-anycast
+  /// route around draining/dead edges before client timeouts fire. A
+  /// published death proactively migrates the attached viewers. With
+  /// control.overlay_assist, footprint saturation activates the overlay
+  /// P2P mesh as edge offload: failovers that would orphan purely for
+  /// capacity are parked on the mesh instead.
+  control::ControlPlaneConfig control{};
 
   std::uint64_t seed = 1;
 };
@@ -236,6 +250,24 @@ class BroadcastSession {
     return n;
   }
 
+  // --- control plane ---
+  /// The session's control plane (nullptr unless config.control.enabled).
+  const control::ControlPlane* control_plane() const noexcept {
+    return control_.get();
+  }
+  /// Viewers migrated off a published-dead edge by the control plane
+  /// BEFORE their own poll timeout would have noticed (subset of
+  /// edge_failovers()).
+  std::uint64_t proactive_migrations() const noexcept {
+    return proactive_migrations_;
+  }
+  /// Capacity orphans parked on the overlay mesh instead of freezing.
+  std::uint64_t overlay_assists() const noexcept { return overlay_assists_; }
+  /// The assist mesh (nullptr until the first rescue armed it).
+  const overlay::P2PMesh* assist_mesh() const noexcept {
+    return assist_mesh_.get();
+  }
+
   /// Edge servers created by this session (keyed by datacenter id).
   const std::unordered_map<std::uint64_t, std::unique_ptr<cdn::EdgeServer>>&
   edges() const noexcept {
@@ -312,6 +344,10 @@ class BroadcastSession {
     /// Which ledger the in-flight failover belongs to (RTMP->HLS vs
     /// edge-to-edge).
     bool failover_from_edge = false;
+    /// Overlay-assist parking: the viewer lives on the P2P mesh instead
+    /// of an edge (capacity orphan rescued by the control plane).
+    bool on_mesh = false;
+    std::uint64_t mesh_peer = 0;
   };
 
   /// One failover/anycast admission decision by the spill policy.
@@ -319,6 +355,10 @@ class BroadcastSession {
     const geo::Datacenter* dc = nullptr;  // nullptr: every candidate
                                           // was dark, excluded, or full
     bool spilled = false;      // skipped >= 1 live-but-full nearer edge
+    bool saw_full = false;     // >= 1 live-but-full candidate existed
+                               // (set even when nothing was chosen: the
+                               // capacity-orphan signal the overlay
+                               // assist rescues)
     double distance_km = 0.0;  // viewer -> admitted edge
     double overshoot_km = 0.0; // admitted minus nearest-live distance
   };
@@ -375,6 +415,16 @@ class BroadcastSession {
                                   std::span<const std::uint64_t> exclude = {},
                                   bool respect_capacity = true) const;
   bool edge_site_down(std::uint64_t site, TimeUs now) const noexcept;
+  // Control plane (config_.control.enabled only).
+  void start_control_plane();
+  /// The scrape source: one EdgeSample per instantiated edge, sorted by
+  /// site id — the monitor's determinism contract.
+  std::vector<control::EdgeSample> scrape_edges() const;
+  /// Published steer decision landed (steer_latency after it was made).
+  void on_steer(const control::SteeringPolicy::Transition& t);
+  /// Overlay assist: park a capacity orphan on the P2P mesh. Returns
+  /// false when the assist is not armed (the caller orphans as before).
+  bool rescue_on_mesh(Viewer& v);
 
   sim::Simulator& sim_;
   const geo::DatacenterCatalog& catalog_;
@@ -412,6 +462,13 @@ class BroadcastSession {
   stats::Accumulator failover_latency_s_;
   stats::Accumulator edge_failover_latency_s_;
   stats::Accumulator spill_distance_km_;
+
+  // Control plane (null unless config_.control.enabled).
+  std::unique_ptr<control::ControlPlane> control_;
+  // Overlay-assist mesh, created lazily at the first rescue.
+  std::unique_ptr<overlay::P2PMesh> assist_mesh_;
+  std::uint64_t overlay_assists_ = 0;
+  std::uint64_t proactive_migrations_ = 0;
 
   // Measurement state.
   bool finalized_ = false;

@@ -197,6 +197,28 @@ stats::Accumulator LivestreamService::spill_distance_km() const {
   return out;
 }
 
+std::uint64_t LivestreamService::control_drains() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : broadcasts_)
+    if (const auto* cp = b->session->control_plane())
+      total += cp->policy().drains();
+  return total;
+}
+
+std::uint64_t LivestreamService::proactive_migrations() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : broadcasts_)
+    total += b->session->proactive_migrations();
+  return total;
+}
+
+std::uint64_t LivestreamService::overlay_assists() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : broadcasts_)
+    total += b->session->overlay_assists();
+  return total;
+}
+
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 LivestreamService::edge_peak_loads() const {
   std::unordered_map<std::uint64_t, std::uint64_t> by_site;

@@ -151,6 +151,18 @@ class LivestreamService {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edge_peak_loads()
       const;
 
+  // --- control-plane introspection (session_defaults.control.enabled) --
+  // Aggregated over every broadcast, like the spill ledgers above. All
+  // zero when the control plane is disabled.
+
+  /// Drain decisions (healthy -> draining) across all sessions.
+  std::uint64_t control_drains() const;
+  /// Viewers proactively migrated off a published-dead edge before their
+  /// own client timeout noticed.
+  std::uint64_t proactive_migrations() const;
+  /// Capacity orphans parked on the overlay-assist mesh.
+  std::uint64_t overlay_assists() const;
+
  private:
   struct Broadcast {
     BroadcastInfo info;

@@ -1,13 +1,102 @@
-// Daily time series for the growth plots (Figures 1-2).
+// Daily time series for the growth plots (Figures 1-2), plus the
+// fixed-capacity ring-buffer Timeseries the control plane's telemetry
+// ledgers are built on.
 #ifndef LIVESIM_STATS_TIMESERIES_H
 #define LIVESIM_STATS_TIMESERIES_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "livesim/util/time.h"
 
 namespace livesim::stats {
+
+/// Fixed-capacity ring buffer of (time, value) points: a telemetry
+/// ledger that remembers the last `capacity` scrapes and answers window
+/// queries (mean, min/max, least-squares trend) over what it holds.
+/// Pushing past capacity overwrites the oldest point; `pushes()` keeps
+/// the lifetime count so overwritten history is still accounted for.
+/// All queries are pure arithmetic over the ring in oldest-to-newest
+/// order, so identical push sequences yield bit-identical answers.
+class Timeseries {
+ public:
+  struct Point {
+    TimeUs at = 0;
+    double value = 0.0;
+  };
+
+  explicit Timeseries(std::size_t capacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void push(TimeUs at, double value) {
+    ring_[head_] = Point{at, value};
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+    ++pushes_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Lifetime pushes, including points the ring has since overwritten.
+  std::uint64_t pushes() const noexcept { return pushes_; }
+
+  /// i-th newest point: newest(0) is the latest sample. Requires i < size().
+  const Point& newest(std::size_t i = 0) const {
+    return ring_[(head_ + ring_.size() - 1 - i % ring_.size()) % ring_.size()];
+  }
+  double last() const { return empty() ? 0.0 : newest().value; }
+
+  double mean() const noexcept {
+    if (size_ == 0) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) sum += newest(i).value;
+    return sum / static_cast<double>(size_);
+  }
+
+  double max() const noexcept {
+    double m = 0.0;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (i == 0 || newest(i).value > m) m = newest(i).value;
+    return m;
+  }
+
+  /// Least-squares slope of value over time, per second, across the ring
+  /// (oldest to newest). 0 with fewer than two points or zero time span —
+  /// the "trending toward full" predictor the steering policy projects
+  /// forward.
+  double slope_per_s() const noexcept {
+    if (size_ < 2) return 0.0;
+    double mt = 0.0, mv = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      mt += time::to_seconds(newest(i).at);
+      mv += newest(i).value;
+    }
+    mt /= static_cast<double>(size_);
+    mv /= static_cast<double>(size_);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const double dt = time::to_seconds(newest(i).at) - mt;
+      num += dt * (newest(i).value - mv);
+      den += dt * dt;
+    }
+    return den > 0.0 ? num / den : 0.0;
+  }
+
+  /// Linear projection of the ring's trend `horizon` ahead of the newest
+  /// point. With an empty ring returns 0; with a flat trend, last().
+  double project(DurationUs horizon) const noexcept {
+    if (empty()) return 0.0;
+    return last() + slope_per_s() * time::to_seconds(horizon);
+  }
+
+ private:
+  std::vector<Point> ring_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t size_ = 0;
+  std::uint64_t pushes_ = 0;
+};
 
 /// Counts events per simulated day; days index from 0.
 class DailySeries {
