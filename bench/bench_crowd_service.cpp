@@ -1,0 +1,256 @@
+// Flash-crowd service integration: the crowd generator driven through
+// LivestreamService end to end, at bench scale, with a mid-storm
+// regional blackout.
+//
+// Part 1 runs analysis::flash_crowd_experiment at >= 100k viewers with
+// the control plane ON at threads {1, 2, 8} and certifies:
+//  * the thread-determinism contract (byte-identical fingerprints);
+//  * the admission-latency contract (batched admission never slips a
+//    viewer more than one batch window past its requested join);
+//  * that the blackout really collided with the storm (edge failovers)
+//    and that the control plane moved part of the herd proactively.
+//
+// Part 2 re-runs the identical storm with the control plane OFF: the
+// reactive baseline. The proactive run's mean edge-failover latency
+// must not exceed the reactive one (scrape + steer latency, 0.6 s,
+// beats the 2 s client detect window), and the reactive run must show
+// zero proactive migrations and zero steered joins by construction.
+//
+// Results land in BENCH_crowd.json next to BENCH_engine.json and
+// BENCH_control.json; scripts/check_crowd.sh greps the contract lines.
+//
+// Usage: bench_crowd_service [out.json] [viewers]  (default 100000)
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "livesim/analysis/flash_crowd.h"
+#include "livesim/geo/datacenters.h"
+#include "livesim/stats/report.h"
+#include "livesim/workload/crowd.h"
+
+namespace {
+using namespace livesim;
+
+analysis::FlashCrowdConfig bench_config(std::uint32_t viewers,
+                                        unsigned threads, bool control) {
+  analysis::FlashCrowdConfig cfg;
+  cfg.preset = workload::CrowdPreset::twitch_flash_crowd();
+  cfg.preset.name = "twitch_flash_crowd_bench";
+  cfg.preset.channels = 24;
+  cfg.preset.viewers = viewers;
+  cfg.preset.horizon = 2 * time::kMinute;  // storm compressed, not thinned
+  cfg.preset.mean_session_s = 30.0;
+  cfg.preset.spike_at_frac = 0.5;
+  cfg.preset.spike_amplitude = 8.0;
+  cfg.preset.spike_ramp_s = 20.0;
+
+  cfg.batch_window = 500 * time::kMillisecond;
+  cfg.rtmp_slot_cap = 0;  // the whole storm rides the HLS poll wheels
+
+  // Finite edges + spill rings so the blackout's herd can pile up, and
+  // the overlay assist armed so capacity orphans ride the mesh. The
+  // rings must be wide enough to escape a 1200 km dark region: a herd
+  // stuck inside it would orphan instead of spilling.
+  cfg.session.edge_capacity = 4000;
+  cfg.session.failover_spill_k = 16;
+  cfg.session.control.enabled = control;
+  cfg.session.control.overlay_assist = control;
+
+  // Blackout pinned mid-ramp explicitly (spike at 60 s, ramp 20 s).
+  cfg.blackout = true;
+  cfg.blackout_at = 70 * time::kSecond;
+  cfg.blackout_duration = 20 * time::kSecond;
+
+  cfg.threads = threads;
+  return cfg;
+}
+
+void write_json(const char* path, const analysis::FlashCrowdConfig& cfg,
+                const analysis::FlashCrowdStats& on,
+                const analysis::FlashCrowdStats& off,
+                const std::vector<std::pair<unsigned, std::uint64_t>>& fps,
+                bool det_ok, double wall_ns_per_join) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"crowd_service\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"preset\": \"%s\",\n", cfg.preset.name.c_str());
+  std::fprintf(f, "  \"viewers\": %" PRIu64 ",\n", on.viewers);
+  std::fprintf(f, "  \"channels\": %u,\n", cfg.preset.channels);
+  std::fprintf(f, "  \"horizon_s\": %.0f,\n",
+               time::to_seconds(cfg.preset.horizon));
+  std::fprintf(f, "  \"batch_window_us\": %lld,\n",
+               static_cast<long long>(cfg.batch_window));
+  std::fprintf(f,
+               "  \"blackout\": {\"center\": [%.2f, %.2f], \"radius_km\": "
+               "%.0f, \"at_s\": %.0f, \"duration_s\": %.0f},\n",
+               cfg.blackout_center.lat_deg, cfg.blackout_center.lon_deg,
+               cfg.blackout_radius_km, time::to_seconds(cfg.blackout_at),
+               time::to_seconds(cfg.blackout_duration));
+  std::fprintf(f, "  \"determinism\": {\"threads\": [");
+  for (std::size_t i = 0; i < fps.size(); ++i)
+    std::fprintf(f, "%u%s", fps[i].first, i + 1 < fps.size() ? ", " : "");
+  std::fprintf(f, "], \"fingerprints\": [");
+  for (std::size_t i = 0; i < fps.size(); ++i)
+    std::fprintf(f, "\"%016" PRIx64 "\"%s", fps[i].second,
+                 i + 1 < fps.size() ? ", " : "");
+  std::fprintf(f, "], \"identical\": %s},\n", det_ok ? "true" : "false");
+  std::fprintf(f,
+               "  \"joins\": %" PRIu64 ", \"late_joins\": %" PRIu64
+               ", \"leaves\": %" PRIu64 ", \"batches\": %" PRIu64 ",\n",
+               on.joins, on.late_joins, on.leaves, on.batches);
+  std::fprintf(f,
+               "  \"admission_latency_us\": {\"mean\": %.1f, \"max\": %.1f},\n",
+               on.admission_latency_s.mean() * 1e6,
+               on.admission_latency_s.max() * 1e6);
+  std::fprintf(f,
+               "  \"steered_joins\": %" PRIu64 ", \"edge_failovers\": %" PRIu64
+               ",\n",
+               on.steered_joins, on.edge_failovers);
+  std::fprintf(
+      f, "  \"edge_failover_latency_s\": {\"mean\": %.3f, \"max\": %.3f},\n",
+      on.edge_failover_latency_s.mean(), on.edge_failover_latency_s.max());
+  std::fprintf(f,
+               "  \"proactive_migrations\": %" PRIu64
+               ", \"orphaned_viewers\": %" PRIu64 ", \"edge_spills\": %" PRIu64
+               ", \"overlay_assists\": %" PRIu64 ", \"control_drains\": %" PRIu64
+               ",\n",
+               on.proactive_migrations, on.orphaned_viewers, on.edge_spills,
+               on.overlay_assists, on.control_drains);
+  std::fprintf(f,
+               "  \"peak_edge_load\": %" PRIu64
+               ", \"events_processed\": %" PRIu64 ",\n",
+               on.peak_edge_load, on.events_processed);
+  std::fprintf(f,
+               "  \"reactive\": {\"edge_failovers\": %" PRIu64
+               ", \"edge_failover_latency_mean_s\": %.3f, "
+               "\"proactive_migrations\": %" PRIu64
+               ", \"orphaned_viewers\": %" PRIu64 "},\n",
+               off.edge_failovers, off.edge_failover_latency_s.mean(),
+               off.proactive_migrations, off.orphaned_viewers);
+  std::fprintf(f, "  \"wall_ns_per_join\": %.0f\n", wall_ns_per_join);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace livesim;
+  const char* out = argc > 1 ? argv[1] : "BENCH_crowd.json";
+  long viewers = argc > 2 ? std::atol(argv[2]) : 100000;
+  if (viewers <= 0) viewers = 100000;
+
+  const auto catalog = geo::DatacenterCatalog::paper_footprint();
+
+  // --- Part 1: the storm, control ON, threads {1, 2, 8} ----------------
+  stats::print_banner(
+      "Flash crowd through LivestreamService: control on, threads {1, 2, 8}");
+  analysis::FlashCrowdStats on;
+  std::vector<std::pair<unsigned, std::uint64_t>> fps;
+  std::uint64_t ref = 0;
+  bool det_ok = true;
+  double wall_ns_per_join = 0.0;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const auto cfg =
+        bench_config(static_cast<std::uint32_t>(viewers), threads, true);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = analysis::flash_crowd_experiment(catalog, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+      ref = r.fingerprint;
+      on = r;
+      wall_ns_per_join =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          static_cast<double>(r.joins ? r.joins : 1);
+    }
+    const bool identical = r.fingerprint == ref;
+    det_ok = det_ok && identical;
+    fps.emplace_back(threads, r.fingerprint);
+    std::printf("crowd_service threads=%u fingerprint=%016" PRIx64
+                " identical: %s\n",
+                threads, r.fingerprint, identical ? "yes" : "NO -- BUG");
+  }
+  if (!det_ok) return 1;
+
+  std::printf("crowd_service viewers=%" PRIu64 " (>=100000: %s)\n", on.viewers,
+              on.viewers >= 100000 ? "yes" : "NO -- BUG");
+  const bool scale_ok = on.viewers >= 100000;
+
+  stats::print_banner("Storm outcome (control on, threads=1)");
+  std::printf("joins: %" PRIu64 "  late: %" PRIu64 "  leaves: %" PRIu64
+              "  batches: %" PRIu64 "  engine events: %" PRIu64 "\n",
+              on.joins, on.late_joins, on.leaves, on.batches,
+              on.events_processed);
+  std::printf("steered joins: %" PRIu64 "  edge failovers: %" PRIu64
+              "  proactive: %" PRIu64 "  spills: %" PRIu64
+              "  overlay assists: %" PRIu64 "  orphans: %" PRIu64
+              "  peak edge load: %" PRIu64 "\n",
+              on.steered_joins, on.edge_failovers, on.proactive_migrations,
+              on.edge_spills, on.overlay_assists, on.orphaned_viewers,
+              on.peak_edge_load);
+  std::printf("wall ns/join (threads=1): %.0f\n", wall_ns_per_join);
+
+  // The admission-latency contract: batching never slips a viewer more
+  // than one window past its requested join instant.
+  const auto cfg1 = bench_config(static_cast<std::uint32_t>(viewers), 1, true);
+  const double max_us = on.admission_latency_s.max() * 1e6;
+  const double window_us = static_cast<double>(cfg1.batch_window);
+  const bool adm_ok = on.joins > 0 && max_us < window_us &&
+                      on.admission_latency_s.count() == on.joins;
+  std::printf("crowd_service admission max_us=%.1f window_us=%.0f "
+              "(max < window: %s)\n",
+              max_us, window_us, adm_ok ? "yes" : "NO -- BUG");
+
+  const bool storm_ok = on.edge_failovers > 0 && on.proactive_migrations > 0;
+  std::printf("crowd_service proactive_migrations=%" PRIu64
+              " edge_failovers=%" PRIu64 " (storm hit the blackout: %s)\n",
+              on.proactive_migrations, on.edge_failovers,
+              storm_ok ? "yes" : "NO -- BUG");
+
+  // Published verdicts steered organic joins around the dark region for
+  // as long as the overrides stayed on the map.
+  const bool steer_ok = on.steered_joins > 0;
+  std::printf("crowd_service steered_joins=%" PRIu64 " (>0: %s)\n",
+              on.steered_joins, steer_ok ? "yes" : "NO -- BUG");
+
+  // --- Part 2: the identical storm, control OFF: reactive baseline -----
+  stats::print_banner("Reactive baseline: identical storm, control off");
+  const auto off = analysis::flash_crowd_experiment(
+      catalog, bench_config(static_cast<std::uint32_t>(viewers), 1, false));
+  std::printf("reactive edge failovers: %" PRIu64
+              "  mean failover latency: %.3f s  orphans: %" PRIu64 "\n",
+              off.edge_failovers, off.edge_failover_latency_s.mean(),
+              off.orphaned_viewers);
+  const bool baseline_clean =
+      off.proactive_migrations == 0 && off.steered_joins == 0 &&
+      off.control_drains == 0 && off.overlay_assists == 0;
+  const bool proactive_wins =
+      off.edge_failover_latency_s.count() == 0 ||
+      on.edge_failover_latency_s.mean() <= off.edge_failover_latency_s.mean();
+  std::printf("crowd_service failover mean: proactive=%.3fs reactive=%.3fs "
+              "(proactive <= reactive: %s)\n",
+              on.edge_failover_latency_s.mean(),
+              off.edge_failover_latency_s.mean(),
+              proactive_wins ? "yes" : "NO -- BUG");
+  std::printf("crowd_service control-off ledgers zero: %s\n",
+              baseline_clean ? "yes" : "NO -- BUG");
+
+  write_json(out, cfg1, on, off, fps, det_ok, wall_ns_per_join);
+  std::printf("wrote %s\n", out);
+
+  if (!scale_ok || !adm_ok || !storm_ok || !steer_ok || !baseline_clean ||
+      !proactive_wins)
+    return 1;
+  std::printf("\nall checks passed\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Flash-crowd service-integration check: builds the crowd subsystem's
+# test and bench targets, runs the `crowd`-labelled ctest suite, then
+# runs the crowd bench at full scale (>= 100k viewers) and asserts the
+# printed contracts:
+#   * thread-count determinism: the flash-crowd experiment fingerprints
+#     byte-identically at threads 1/2/8 ("identical: yes"),
+#   * scale: the storm really carried >= 100000 viewer sessions,
+#   * the admission-latency contract: batched admission never slips a
+#     viewer more than one batch window past its requested join
+#     ("max < window: yes"),
+#   * the storm hit the blackout (edge failovers + proactive
+#     migrations both non-zero) and published verdicts steered organic
+#     joins around the dark region (steered_joins > 0),
+#   * proactive mean failover latency <= the reactive control-off
+#     baseline, whose control ledgers are all zero.
+#
+#   ./scripts/check_crowd.sh [build-dir]    # default: build
+#
+# Every failure path prints "crowd check FAILED" and exits non-zero.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+fail() {
+  echo "crowd check FAILED: $1" >&2
+  exit 1
+}
+
+cmake -B "$BUILD" -S . || fail "configure did not succeed"
+cmake --build "$BUILD" -j \
+      --target livesim_crowd_tests bench_crowd_service \
+  || fail "build did not succeed"
+
+ctest --test-dir "$BUILD" -L crowd --output-on-failure \
+  || fail "crowd-labelled tests failed"
+
+# Capture to a file and grep the file, rather than `echo "$OUT" | grep`
+# pipelines: under `set -o pipefail` a pipe stage's exit status can
+# mask a successful match, and the file leaves the full transcript on
+# disk when a contract does fail.
+OUT="$BUILD/crowd_check.out"
+"$BUILD"/bench/bench_crowd_service BENCH_crowd.json 100000 > "$OUT" \
+  || fail "bench_crowd_service exited non-zero (transcript in $OUT)"
+cat "$OUT"
+
+for t in 1 2 8; do
+  grep -q "crowd_service threads=$t .*identical: yes" "$OUT" \
+    || fail "flash-crowd experiment not bit-identical at threads=$t"
+done
+
+grep -q "crowd_service viewers=.* (>=100000: yes)" "$OUT" \
+  || fail "the storm carried fewer than 100000 viewer sessions"
+
+grep -q "crowd_service admission max_us=.* (max < window: yes)" "$OUT" \
+  || fail "batched admission slipped a viewer past one batch window"
+
+grep -q \
+  "crowd_service proactive_migrations=.* (storm hit the blackout: yes)" \
+  "$OUT" \
+  || fail "the blackout did not collide with the storm (no failovers or no proactive migrations)"
+
+grep -q "crowd_service steered_joins=.* (>0: yes)" "$OUT" \
+  || fail "published verdicts steered no organic joins"
+
+grep -q "crowd_service failover mean: .* (proactive <= reactive: yes)" \
+  "$OUT" \
+  || fail "proactive mean failover latency exceeds the reactive baseline"
+
+grep -q "crowd_service control-off ledgers zero: yes" "$OUT" \
+  || fail "control-off baseline shows non-zero control-plane ledgers"
+
+grep -q "all checks passed" "$OUT" \
+  || fail "crowd bench did not reach its final all-clear"
+rm -f "$OUT"
+
+[ -s BENCH_crowd.json ] || fail "BENCH_crowd.json was not written"
+
+echo "crowd check passed: 100k-viewer storm thread-deterministic, admission bounded by one batch window, blackout herd moved proactively, organic joins steered by published verdicts."

@@ -26,7 +26,7 @@ cmake -B "$BUILD" -S . -DLIVESIM_SANITIZE=thread \
 
 cmake --build "$BUILD" --target livesim_tests livesim_resilience_tests \
       livesim_engine_alloc_tests livesim_poll_wheel_tests \
-      livesim_control_tests -j \
+      livesim_control_tests livesim_crowd_tests -j \
   || fail "sanitized build did not succeed"
 
 [ -x "$BUILD"/tests/livesim_tests ] \
@@ -68,4 +68,12 @@ TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   "$BUILD"/tests/livesim_control_tests \
   || fail "data race or test failure in the control-plane battery"
 
-echo "TSan check passed: no data races in the parallel runner, simulator, engine, resilience, or control-plane suites."
+# The crowd battery: the flash-crowd experiment shards whole services
+# (engine + wheels + control plane + crowd drive) over the pool per
+# channel, so its thread-determinism suite doubles as a race check on
+# the entire service stack under parallel_map.
+TSAN_OPTIONS="halt_on_error=1:abort_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  "$BUILD"/tests/livesim_crowd_tests \
+  || fail "data race or test failure in the crowd battery"
+
+echo "TSan check passed: no data races in the parallel runner, simulator, engine, resilience, control-plane, or crowd suites."

@@ -1,0 +1,197 @@
+#include "livesim/analysis/flash_crowd.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "livesim/core/service.h"
+#include "livesim/fault/scenario.h"
+#include "livesim/sim/parallel.h"
+#include "livesim/sim/simulator.h"
+#include "livesim/util/rng.h"
+
+namespace livesim::analysis {
+
+namespace {
+
+/// One channel's complete outcome: everything the merge folds, in
+/// channel order.
+struct ChannelOutcome {
+  core::LivestreamService::CrowdDriveStats drive;
+  std::uint64_t steered_joins = 0;
+  std::uint64_t edge_failovers = 0;
+  stats::Accumulator edge_failover_latency_s;
+  std::uint64_t proactive_migrations = 0;
+  std::uint64_t orphaned_viewers = 0;
+  std::uint64_t edge_spills = 0;
+  stats::Accumulator spill_distance_km;
+  std::uint64_t overlay_assists = 0;
+  std::uint64_t control_drains = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> peak_loads;
+  std::uint64_t events_processed = 0;
+};
+
+TimeUs resolve_blackout_at(const FlashCrowdConfig& config) {
+  if (config.blackout_at != 0) return config.blackout_at;
+  const auto& p = config.preset;
+  const TimeUs spike_start = static_cast<TimeUs>(
+      std::clamp(p.spike_at_frac, 0.0, 1.0) * static_cast<double>(p.horizon));
+  const TimeUs spike_len =
+      std::min(p.horizon - spike_start, time::from_seconds(p.spike_ramp_s));
+  return spike_start + spike_len / 2;  // the middle of the ramp
+}
+
+ChannelOutcome run_channel(const geo::DatacenterCatalog& catalog,
+                           const FlashCrowdConfig& config,
+                           std::size_t channel,
+                           const std::vector<workload::CrowdRecord>& records,
+                           const fault::FaultScenario& scenario,
+                           TimeUs blackout_at) {
+  sim::Simulator sim;
+
+  core::LivestreamService::Config scfg;
+  scfg.rtmp_slot_cap = config.rtmp_slot_cap;
+  scfg.session_defaults = config.session;
+  scfg.seed = sim::substream_seed(config.service_seed, channel);
+
+  core::LivestreamService service(sim, catalog, scfg);
+
+  // Broadcaster location: its own substream (offset so it never aliases
+  // the service seed above).
+  Rng rng(sim::substream_seed(config.service_seed ^ 0x9e3779b97f4a7c15ULL,
+                              channel));
+  geo::UserGeoSampler sampler;
+  const auto broadcast =
+      service.start_broadcast(sampler.sample(rng), config.preset.horizon);
+
+  core::LivestreamService::CrowdDriveConfig dcfg;
+  dcfg.batch_window = config.batch_window;
+  dcfg.seed = sim::substream_seed(config.crowd_seed ^ 0xbf58476d1ce4e5b9ULL,
+                                  channel);
+  const BroadcastId channels[] = {broadcast};
+  const std::size_t drive = service.drive_crowd(channels, records, dcfg);
+
+  if (!scenario.empty()) {
+    sim.schedule_at(blackout_at, [&service, &scenario, &config] {
+      service.inject_scenario(scenario, config.scenario_seed);
+    });
+  }
+  sim.run();
+
+  ChannelOutcome out;
+  out.drive = service.crowd_stats(drive);
+  out.steered_joins = service.steered_joins();
+  const core::BroadcastSession* session = service.session(broadcast);
+  out.edge_failovers = session->edge_failovers();
+  out.edge_failover_latency_s = session->edge_failover_latency_s();
+  out.proactive_migrations = session->proactive_migrations();
+  out.orphaned_viewers = session->orphaned_viewers();
+  out.edge_spills = session->edge_spills();
+  out.spill_distance_km = session->spill_distance_km();
+  out.overlay_assists = session->overlay_assists();
+  out.control_drains = service.control_drains();
+  out.peak_loads = session->edge_peak_loads();
+  out.events_processed = sim.events_processed();
+  return out;
+}
+
+}  // namespace
+
+FlashCrowdStats flash_crowd_experiment(const geo::DatacenterCatalog& catalog,
+                                       const FlashCrowdConfig& config) {
+  const std::vector<workload::CrowdRecord> records =
+      workload::generate_crowd(config.preset, config.crowd_seed,
+                               config.threads);
+
+  // Partition per channel, global record order preserved inside each
+  // channel (generate_crowd's output is index-ordered at every thread
+  // count, so this split never depends on scheduling). Each shard sees
+  // its records re-ranked to channel 0: the shard's service hosts
+  // exactly one broadcast.
+  std::vector<std::vector<workload::CrowdRecord>> per_channel(
+      std::max<std::uint32_t>(1, config.preset.channels));
+  for (workload::CrowdRecord r : records) {
+    const std::uint32_t c = std::min<std::uint32_t>(
+        r.channel, static_cast<std::uint32_t>(per_channel.size() - 1));
+    r.channel = 0;
+    per_channel[c].push_back(r);
+  }
+
+  fault::FaultScenario scenario;
+  TimeUs blackout_at = 0;
+  if (config.blackout) {
+    fault::RegionalBlackoutSpec spec;
+    blackout_at = resolve_blackout_at(config);
+    spec.at = 0;  // injected live AT blackout_at; times are relative
+    spec.duration = config.blackout_duration;
+    spec.center = config.blackout_center;
+    spec.radius_km = config.blackout_radius_km;
+    scenario.add(spec);
+  }
+
+  FlashCrowdStats stats;
+  stats.viewers = records.size();
+
+  const auto outcomes = sim::parallel_map<ChannelOutcome>(
+      per_channel.size(), config.threads, [&](std::size_t c) {
+        return run_channel(catalog, config, c, per_channel[c], scenario,
+                          blackout_at);
+      });
+
+  // Merge + fingerprint in channel order.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  const auto mix_double = [&](double d) { mix(std::bit_cast<std::uint64_t>(d)); };
+
+  std::map<std::uint64_t, std::uint64_t> peaks;  // site -> summed peak
+  for (const ChannelOutcome& o : outcomes) {
+    stats.joins += o.drive.joins;
+    stats.late_joins += o.drive.late_joins;
+    stats.leaves += o.drive.leaves;
+    stats.batches += o.drive.batches;
+    stats.admission_latency_s.merge(o.drive.admission_latency_s);
+    stats.steered_joins += o.steered_joins;
+    stats.edge_failovers += o.edge_failovers;
+    stats.edge_failover_latency_s.merge(o.edge_failover_latency_s);
+    stats.proactive_migrations += o.proactive_migrations;
+    stats.orphaned_viewers += o.orphaned_viewers;
+    stats.edge_spills += o.edge_spills;
+    stats.spill_distance_km.merge(o.spill_distance_km);
+    stats.overlay_assists += o.overlay_assists;
+    stats.control_drains += o.control_drains;
+    stats.events_processed += o.events_processed;
+    for (const auto& [site, peak] : o.peak_loads) peaks[site] += peak;
+
+    mix(o.drive.joins);
+    mix(o.drive.late_joins);
+    mix(o.drive.leaves);
+    mix(o.drive.batches);
+    mix(o.drive.admission_latency_s.count());
+    mix_double(o.drive.admission_latency_s.mean());
+    mix_double(o.drive.admission_latency_s.max());
+    mix(o.steered_joins);
+    mix(o.edge_failovers);
+    mix(o.edge_failover_latency_s.count());
+    mix_double(o.edge_failover_latency_s.mean());
+    mix(o.proactive_migrations);
+    mix(o.orphaned_viewers);
+    mix(o.edge_spills);
+    mix(o.overlay_assists);
+    mix(o.control_drains);
+    mix(o.events_processed);
+    for (const auto& [site, peak] : o.peak_loads) {
+      mix(site);
+      mix(peak);
+    }
+  }
+  for (const auto& [site, peak] : peaks)
+    stats.peak_edge_load = std::max(stats.peak_edge_load, peak);
+  stats.fingerprint = h;
+  return stats;
+}
+
+}  // namespace livesim::analysis

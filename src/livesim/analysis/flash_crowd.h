@@ -1,0 +1,102 @@
+// Flash-crowd experiment: the first run that exercises engine, poll
+// wheels, capacity spill, control plane, and the crowd generator in one
+// workload.
+//
+// A Twitch-calibrated crowd (workload::generate_crowd) is driven
+// through LivestreamService end to end: every channel becomes a live
+// broadcast, every CrowdRecord a real viewer join (batched through
+// sim::BatchTimeline -- one engine event per admission window) and a
+// real early leave (the poll-wheel detach path). Mid-storm, a regional
+// blackout darkens part of the edge footprint, so the join storm and
+// the failover herd collide: wheel re-attachment cost, spill pile-ups,
+// and proactive-vs-reactive migration are all measured under storm
+// pressure.
+//
+// Sharding/determinism: channels are independent broadcasts, so the
+// experiment shards BY CHANNEL -- each shard owns a private Simulator +
+// LivestreamService seeded from substream_seed(service_seed, channel),
+// replays exactly that channel's records (in global record order), and
+// expands the same blackout scenario against the shared catalog. Shard
+// results merge in channel order, so the stats and the fingerprint are
+// byte-identical at every thread count.
+#ifndef LIVESIM_ANALYSIS_FLASH_CROWD_H
+#define LIVESIM_ANALYSIS_FLASH_CROWD_H
+
+#include <cstdint>
+
+#include "livesim/core/broadcast_session.h"
+#include "livesim/geo/datacenters.h"
+#include "livesim/stats/accumulator.h"
+#include "livesim/util/time.h"
+#include "livesim/workload/crowd.h"
+
+namespace livesim::analysis {
+
+struct FlashCrowdConfig {
+  /// The crowd shape. Bench/CI scale: >= 100k viewers over a shortened
+  /// horizon; tests shrink viewers, never the structure.
+  workload::CrowdPreset preset = workload::CrowdPreset::twitch_flash_crowd();
+  std::uint64_t crowd_seed = 2016;
+  /// Per-channel service/session substream root.
+  std::uint64_t service_seed = 7;
+  /// Join-storm admission window (CrowdDriveConfig::batch_window).
+  DurationUs batch_window = 500 * time::kMillisecond;
+  /// RTMP slots per channel. 0 (default): the whole storm rides the HLS
+  /// poll wheels -- the fast path this experiment is about.
+  std::uint32_t rtmp_slot_cap = 0;
+  /// Session knobs applied to every channel (capacity, spill rings,
+  /// control plane, wheel geometry). broadcast_len is overridden with
+  /// the preset horizon.
+  core::SessionConfig session{};
+
+  /// Mid-storm regional blackout. blackout_at == 0 resolves to the
+  /// middle of the spike ramp (spike_at + ramp/2): the worst instant.
+  bool blackout = true;
+  geo::GeoPoint blackout_center{50.11, 8.68};  // Frankfurt
+  double blackout_radius_km = 1200.0;
+  TimeUs blackout_at = 0;
+  DurationUs blackout_duration = 20 * time::kSecond;
+  std::uint64_t scenario_seed = 99;
+
+  unsigned threads = 1;
+};
+
+struct FlashCrowdStats {
+  // Crowd consumption (summed CrowdDriveStats).
+  std::uint64_t viewers = 0;  // records generated
+  std::uint64_t joins = 0;
+  std::uint64_t late_joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t batches = 0;
+  stats::Accumulator admission_latency_s;  // max < batch_window: the pin
+  std::uint64_t steered_joins = 0;
+
+  // Storm-pressure resilience (summed session ledgers, channel order).
+  std::uint64_t edge_failovers = 0;  // wheel re-attachments forced
+  stats::Accumulator edge_failover_latency_s;
+  std::uint64_t proactive_migrations = 0;
+  std::uint64_t orphaned_viewers = 0;
+  std::uint64_t edge_spills = 0;
+  stats::Accumulator spill_distance_km;
+  std::uint64_t overlay_assists = 0;
+  std::uint64_t control_drains = 0;
+
+  /// Hottest edge site: max over sites of the summed per-channel peak
+  /// attachments (the service-aggregation upper-bound semantics).
+  std::uint64_t peak_edge_load = 0;
+  /// Engine events across every shard: the batching win shows up here.
+  std::uint64_t events_processed = 0;
+
+  /// FNV-1a over every per-channel outcome in channel order: the
+  /// threads {1,2,8} determinism pin BENCH_crowd.json tracks.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Runs the crowd through per-channel services against `catalog`.
+/// Deterministic in (config) at every config.threads.
+FlashCrowdStats flash_crowd_experiment(const geo::DatacenterCatalog& catalog,
+                                       const FlashCrowdConfig& config);
+
+}  // namespace livesim::analysis
+
+#endif  // LIVESIM_ANALYSIS_FLASH_CROWD_H

@@ -504,7 +504,8 @@ bool BroadcastSession::edge_site_down(std::uint64_t site,
 
 BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
     const geo::GeoPoint& p, TimeUs now,
-    std::span<const std::uint64_t> exclude, bool respect_capacity) const {
+    std::span<const std::uint64_t> exclude, bool respect_capacity,
+    std::span<const std::uint64_t> steer_avoid) const {
   std::vector<DatacenterId> excl;
   excl.reserve(exclude.size());
   for (std::uint64_t site : exclude) excl.push_back(DatacenterId{site});
@@ -512,9 +513,22 @@ BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
   EdgeSelection sel;
   double nearest_live_km = -1.0;  // first live candidate (full or not)
   bool skipped_full = false;
+  bool skipped_steer = false;
   for (const geo::Datacenter* dc : catalog_.k_nearest(
            p, geo::CdnRole::kEdge, config_.failover_spill_k, excl)) {
     if (edge_site_down(dc->id.value, now)) continue;
+    // Service-wide verdict union (sorted): a site some session's control
+    // plane published as draining/dead is skipped here exactly like this
+    // session's own override below — same outcome, but attributed, so
+    // the steered-joins ledger can count cross-session steering. Checked
+    // first so own-override skips are attributed too (the skip happens
+    // either way; the event stream is unchanged).
+    if (!steer_avoid.empty() &&
+        std::binary_search(steer_avoid.begin(), steer_avoid.end(),
+                           dc->id.value)) {
+      skipped_steer = true;
+      continue;
+    }
     // Published anycast-map override: the control plane decided this
     // site is draining or dead, so routing steers around it — new joins
     // and failover re-anycast alike — before client timeouts would.
@@ -535,9 +549,11 @@ BroadcastSession::EdgeSelection BroadcastSession::nearest_live_edge(
     sel.overshoot_km = km - nearest_live_km;
     sel.spilled = skipped_full;
     sel.saw_full = skipped_full;
+    sel.steered = skipped_steer;
     return sel;
   }
   sel.saw_full = skipped_full;
+  sel.steered = skipped_steer;
   return sel;  // every candidate dark, excluded, or full
 }
 
@@ -567,8 +583,9 @@ BroadcastSession::edge_peak_loads() const {
   return out;
 }
 
-std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
-                                         bool hls) {
+std::size_t BroadcastSession::add_viewer(
+    const geo::GeoPoint& location, bool hls,
+    std::span<const std::uint64_t> steer_avoid) {
   auto v = std::make_unique<Viewer>();
   v->hls = hls;
   v->was_rtmp = !hls;
@@ -577,13 +594,16 @@ std::size_t BroadcastSession::add_viewer(const geo::GeoPoint& location,
 
   auto link_params = config_.viewer_last_mile;
   if (v->hls) {
-    // Anycast skips dark PoPs (a viewer joining mid-outage) but is
-    // load-blind — IP anycast does not know edge occupancy, so joins can
-    // push an edge past capacity; only failover admissions spill. With
-    // no outage this is exactly catalog_.nearest (same tie-break), so
-    // fault-free runs are bit-identical.
+    // Anycast skips dark PoPs (a viewer joining mid-outage) and sites
+    // under a published drain/dead verdict (this session's own control
+    // plane plus the caller's service-wide union) but is load-blind —
+    // IP anycast does not know edge occupancy, so joins can push an
+    // edge past capacity; only failover admissions spill. With no
+    // outage and no verdicts this is exactly catalog_.nearest (same
+    // tie-break), so fault-free runs are bit-identical.
     const EdgeSelection sel = nearest_live_edge(
-        v->location, sim_.now(), {}, /*respect_capacity=*/false);
+        v->location, sim_.now(), {}, /*respect_capacity=*/false, steer_avoid);
+    if (sel.dc != nullptr && sel.steered) ++steered_joins_;
     v->attachment = sel.dc != nullptr
                         ? sel.dc->id
                         : catalog_.nearest(v->location, geo::CdnRole::kEdge).id;

@@ -174,8 +174,14 @@ class BroadcastSession {
 
   /// Adds a viewer dynamically (possibly mid-broadcast). RTMP viewers
   /// attach to the broadcaster's ingest site, HLS viewers to their
-  /// nearest edge via anycast. Returns the viewer's index.
-  std::size_t add_viewer(const geo::GeoPoint& location, bool hls);
+  /// nearest edge via anycast. `steer_avoid` is a SORTED span of edge
+  /// site ids published as draining/dead by some control plane (the
+  /// service-wide union LivestreamService assembles): organic joins
+  /// route around them exactly like this session's own published
+  /// overrides. An empty span (the default) is bit-for-bit the
+  /// historical behaviour. Returns the viewer's index.
+  std::size_t add_viewer(const geo::GeoPoint& location, bool hls,
+                         std::span<const std::uint64_t> steer_avoid = {});
 
   /// Detaches a viewer: HLS polling stops, RTMP pushes are no longer
   /// delivered. Playback stats remain queryable. Idempotent.
@@ -263,6 +269,10 @@ class BroadcastSession {
   }
   /// Capacity orphans parked on the overlay mesh instead of freezing.
   std::uint64_t overlay_assists() const noexcept { return overlay_assists_; }
+  /// Organic joins that landed somewhere OTHER than their nearest live
+  /// edge because a published drain/dead verdict (this session's own or
+  /// the service-wide union passed into add_viewer) steered them away.
+  std::uint64_t steered_joins() const noexcept { return steered_joins_; }
   /// The assist mesh (nullptr until the first rescue armed it).
   const overlay::P2PMesh* assist_mesh() const noexcept {
     return assist_mesh_.get();
@@ -361,6 +371,9 @@ class BroadcastSession {
                                // assist rescues)
     double distance_km = 0.0;  // viewer -> admitted edge
     double overshoot_km = 0.0; // admitted minus nearest-live distance
+    bool steered = false;      // skipped >= 1 candidate on a published
+                               // drain/dead verdict (own control plane
+                               // or the caller's steer_avoid union)
   };
 
   cdn::EdgeServer& edge_for(DatacenterId site);
@@ -410,10 +423,14 @@ class BroadcastSession {
   /// a nearer live candidate was skipped only for being full. With no
   /// outages, no exclusions, and unlimited capacity this is exactly
   /// catalog_.nearest(p, kEdge) (same tie-break), so fault-free runs are
-  /// bit-identical.
-  EdgeSelection nearest_live_edge(const geo::GeoPoint& p, TimeUs now,
-                                  std::span<const std::uint64_t> exclude = {},
-                                  bool respect_capacity = true) const;
+  /// bit-identical. `steer_avoid` (sorted site ids) marks candidates a
+  /// published verdict steers around — skipped like control_->avoid,
+  /// but attributed via EdgeSelection::steered.
+  EdgeSelection nearest_live_edge(
+      const geo::GeoPoint& p, TimeUs now,
+      std::span<const std::uint64_t> exclude = {},
+      bool respect_capacity = true,
+      std::span<const std::uint64_t> steer_avoid = {}) const;
   bool edge_site_down(std::uint64_t site, TimeUs now) const noexcept;
   // Control plane (config_.control.enabled only).
   void start_control_plane();
@@ -459,6 +476,7 @@ class BroadcastSession {
   std::uint64_t orphaned_viewers_ = 0;
   std::uint64_t rtmp_rejoins_ = 0;
   std::uint64_t edge_spills_ = 0;
+  std::uint64_t steered_joins_ = 0;
   stats::Accumulator failover_latency_s_;
   stats::Accumulator edge_failover_latency_s_;
   stats::Accumulator spill_distance_km_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "livesim/sim/parallel.h"
+
 namespace livesim::core {
 
 LivestreamService::LivestreamService(sim::Simulator& sim,
@@ -90,6 +92,16 @@ std::optional<LivestreamService::ViewerHandle> LivestreamService::join(
 
 std::optional<LivestreamService::ViewerHandle> LivestreamService::join_as(
     BroadcastId id, UserId viewer, const geo::GeoPoint& location) {
+  // Organic joins consult the service-wide verdict union: a site ANY
+  // live session's control plane published as draining/dead is steered
+  // around, not just this broadcast's own overrides (the cross-session
+  // gap the per-session map left open). Empty union = historical path.
+  return join_steered(id, viewer, location, published_avoid());
+}
+
+std::optional<LivestreamService::ViewerHandle> LivestreamService::join_steered(
+    BroadcastId id, UserId viewer, const geo::GeoPoint& location,
+    std::span<const std::uint64_t> avoid) {
   Broadcast* b = live_broadcast(id);
   if (b == nullptr) return std::nullopt;
   if (b->info.is_private &&
@@ -101,9 +113,110 @@ std::optional<LivestreamService::ViewerHandle> LivestreamService::join_as(
   // First-come slot policy: early joiners get the low-delay RTMP path.
   handle.rtmp = b->info.rtmp_viewers < config_.rtmp_slot_cap;
   handle.can_comment = handle.rtmp && b->commenters.admit_commenter();
-  handle.viewer_index = b->session->add_viewer(location, !handle.rtmp);
+  handle.viewer_index = b->session->add_viewer(location, !handle.rtmp, avoid);
   (handle.rtmp ? b->info.rtmp_viewers : b->info.hls_viewers) += 1;
   return handle;
+}
+
+std::vector<std::uint64_t> LivestreamService::published_avoid() const {
+  std::vector<std::uint64_t> avoid;
+  for (const auto& [id, b] : broadcasts_) {
+    if (!b->info.live) continue;
+    if (const auto* cp = b->session->control_plane())
+      for (std::uint64_t site : cp->published_overrides())
+        avoid.push_back(site);
+  }
+  // Sort + dedup: the union is canonical whatever the hash-map
+  // iteration order, and sorted is what add_viewer's binary search
+  // needs.
+  std::sort(avoid.begin(), avoid.end());
+  avoid.erase(std::unique(avoid.begin(), avoid.end()), avoid.end());
+  return avoid;
+}
+
+std::size_t LivestreamService::drive_crowd(
+    std::span<const BroadcastId> channels,
+    std::span<const workload::CrowdRecord> records,
+    const CrowdDriveConfig& config) {
+  auto d = std::make_unique<CrowdDrive>();
+  d->config = config;
+  d->channels.assign(channels.begin(), channels.end());
+  d->records.assign(records.begin(), records.end());
+  d->locations.resize(d->records.size());
+  d->handles.resize(d->records.size());
+  d->origin = sim_.now();
+  d->stats.records = d->records.size();
+  d->timeline =
+      std::make_unique<sim::BatchTimeline>(sim_, config.batch_window);
+
+  // Locations are pre-drawn in record order from per-record substreams:
+  // the draw sequence never depends on batch composition, so reshaping
+  // the window (or the thread count that generated the records) cannot
+  // perturb any other RNG stream in the service.
+  geo::UserGeoSampler sampler;
+  const DurationUs window = d->timeline->window();
+  for (std::size_t i = 0; i < d->records.size(); ++i) {
+    Rng rng(sim::substream_seed(config.seed, i));
+    d->locations[i] = sampler.sample(rng);
+    const workload::CrowdRecord& r = d->records[i];
+    const TimeUs join_at = d->origin + r.join;
+    // Op encoding: record index << 1, low bit = leave. The leave is
+    // pushed to at least one window past the join so every admitted
+    // viewer attaches to its edge's poll wheel for >= one full window
+    // (churn exercises the wheel detach path, not a same-instant
+    // join+leave).
+    d->timeline->add(join_at, (static_cast<std::uint64_t>(i) << 1));
+    const TimeUs leave_at =
+        std::max(d->timeline->quantize(join_at) + window,
+                 d->timeline->quantize(join_at + r.stay));
+    d->timeline->add(leave_at, (static_cast<std::uint64_t>(i) << 1) | 1u);
+  }
+
+  auto* draw = d.get();
+  d->timeline->seal(
+      [this, draw](TimeUs at, std::span<const std::uint64_t> ops) {
+        fire_crowd_batch(*draw, at, ops);
+      });
+  drives_.push_back(std::move(d));
+  return drives_.size() - 1;
+}
+
+void LivestreamService::fire_crowd_batch(CrowdDrive& drive, TimeUs at,
+                                         std::span<const std::uint64_t> ops) {
+  ++drive.stats.batches;
+  // One verdict-union snapshot per batch: published overrides only move
+  // on engine events, and no time passes inside a batch, so per-join
+  // lookups would all see this exact set anyway.
+  const std::vector<std::uint64_t> avoid = published_avoid();
+  for (std::uint64_t op : ops) {
+    const std::size_t i = static_cast<std::size_t>(op >> 1);
+    if (op & 1u) {
+      // Early leave: flows through leave() -> remove_viewer() -> the
+      // poll-wheel detach path, exactly like an organic departure.
+      // Handles stay valid after the broadcast ends (leave is
+      // idempotent there), so late leaves are applied, not dropped.
+      if (drive.handles[i].valid()) {
+        leave(drive.handles[i]);
+        ++drive.stats.leaves;
+      }
+      continue;
+    }
+    const workload::CrowdRecord& r = drive.records[i];
+    const BroadcastId channel = r.channel < drive.channels.size()
+                                    ? drive.channels[r.channel]
+                                    : BroadcastId{};
+    auto handle = join_steered(channel, UserId{}, drive.locations[i], avoid);
+    if (!handle.has_value()) {
+      // The channel ended before this record's (quantized) join landed,
+      // or the record maps past the channel span.
+      ++drive.stats.late_joins;
+      continue;
+    }
+    drive.handles[i] = *handle;
+    ++drive.stats.joins;
+    drive.stats.admission_latency_s.add(
+        time::to_seconds(at - (drive.origin + r.join)));
+  }
 }
 
 void LivestreamService::leave(const ViewerHandle& viewer) {
@@ -216,6 +329,13 @@ std::uint64_t LivestreamService::overlay_assists() const {
   std::uint64_t total = 0;
   for (const auto& [id, b] : broadcasts_)
     total += b->session->overlay_assists();
+  return total;
+}
+
+std::uint64_t LivestreamService::steered_joins() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : broadcasts_)
+    total += b->session->steered_joins();
   return total;
 }
 

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,7 +23,9 @@
 #include "livesim/crawler/crawler.h"
 #include "livesim/fault/scenario.h"
 #include "livesim/msg/pubsub.h"
+#include "livesim/sim/batch.h"
 #include "livesim/stats/accumulator.h"
+#include "livesim/workload/crowd.h"
 
 namespace livesim::core {
 
@@ -115,6 +118,60 @@ class LivestreamService {
   std::size_t inject_scenario(const fault::FaultScenario& scenario,
                               std::uint64_t seed);
 
+  // --- crowd consumption (workload/crowd.h -> service lifecycles) ------
+
+  struct CrowdDriveConfig {
+    /// Join/leave instants are quantized UP to multiples of this window
+    /// and batched: one engine event per non-empty window drives the
+    /// whole storm (sim/batch.h), so a 100k-viewer join storm costs
+    /// O(windows) engine events, not O(viewers). The window is also the
+    /// hard admission-latency bound the crowd bench pins.
+    DurationUs batch_window = 500 * time::kMillisecond;
+    /// Viewer-location substream: record i's location is drawn from
+    /// substream_seed(seed, i) at schedule time, in record order, so
+    /// the drive is byte-identical at every thread count.
+    std::uint64_t seed = 1;
+  };
+
+  struct CrowdDriveStats {
+    std::uint64_t records = 0;
+    std::uint64_t joins = 0;       // admitted into a live broadcast
+    std::uint64_t late_joins = 0;  // channel already ended (or unmapped)
+    std::uint64_t leaves = 0;      // early-leave ops applied to a handle
+    std::uint64_t batches = 0;     // engine callbacks fired so far
+    /// Batch boundary minus the record's requested join instant,
+    /// seconds: what batching cost each admitted viewer. max <
+    /// batch_window by construction (the quantize contract).
+    stats::Accumulator admission_latency_s;
+  };
+
+  /// Wires a generated crowd into broadcast/viewer lifecycles:
+  /// `records[i].channel` indexes `channels`; each record joins that
+  /// broadcast at its (quantized) join instant and leaves again at
+  /// join + stay, churn flowing through the same leave()/poll-wheel
+  /// detach path organic viewers use. A leave is pushed to at least
+  /// one window past its join, so every admitted viewer lives on its
+  /// edge's wheel for >= one full window. Joins consult the published
+  /// verdict union (steered placement) once per batch. Record times
+  /// are relative to now. Returns a drive id for crowd_stats(); stats
+  /// are final once the simulator drains.
+  std::size_t drive_crowd(std::span<const BroadcastId> channels,
+                          std::span<const workload::CrowdRecord> records,
+                          const CrowdDriveConfig& config);
+  std::size_t drive_crowd(std::span<const BroadcastId> channels,
+                          std::span<const workload::CrowdRecord> records) {
+    return drive_crowd(channels, records, CrowdDriveConfig{});
+  }
+  const CrowdDriveStats& crowd_stats(std::size_t drive) const {
+    return drives_.at(drive)->stats;
+  }
+
+  /// Union of the published anycast-map overrides (draining/dead sites)
+  /// across every live session's control plane, sorted and deduped: the
+  /// service-wide verdict map organic joins are steered by. Empty when
+  /// no session runs a control plane.
+  std::vector<std::uint64_t> published_avoid() const;
+
   // --- introspection ---
   const crawler::GlobalList& global_list() const noexcept { return list_; }
   std::optional<BroadcastInfo> info(BroadcastId id) const;
@@ -162,6 +219,10 @@ class LivestreamService {
   std::uint64_t proactive_migrations() const;
   /// Capacity orphans parked on the overlay-assist mesh.
   std::uint64_t overlay_assists() const;
+  /// Organic joins routed around a published drain/dead verdict (their
+  /// nearest live edge was under an override, own-session or another
+  /// session's, so they landed farther out).
+  std::uint64_t steered_joins() const;
 
  private:
   struct Broadcast {
@@ -173,12 +234,30 @@ class LivestreamService {
     std::unordered_set<std::uint64_t> invitees;  // private broadcasts only
   };
 
+  /// One drive_crowd() invocation: the batched timeline, the per-record
+  /// pre-drawn locations, and the handles the leave ops consume.
+  struct CrowdDrive {
+    CrowdDriveConfig config;
+    std::vector<BroadcastId> channels;
+    std::vector<workload::CrowdRecord> records;
+    std::vector<geo::GeoPoint> locations;
+    std::vector<ViewerHandle> handles;
+    std::unique_ptr<sim::BatchTimeline> timeline;
+    TimeUs origin = 0;  // sim time the drive was scheduled
+    CrowdDriveStats stats;
+  };
+
   BroadcastId start_broadcast_impl(const geo::GeoPoint& location,
                                    DurationUs length, bool is_private,
                                    std::vector<UserId> invitees);
 
   Broadcast* live_broadcast(BroadcastId id);
   void deliver_feedback(Broadcast& b, const msg::Message& m, bool via_rtmp);
+  std::optional<ViewerHandle> join_steered(
+      BroadcastId id, UserId viewer, const geo::GeoPoint& location,
+      std::span<const std::uint64_t> avoid);
+  void fire_crowd_batch(CrowdDrive& drive, TimeUs at,
+                        std::span<const std::uint64_t> ops);
 
   sim::Simulator& sim_;
   const geo::DatacenterCatalog& catalog_;
@@ -190,6 +269,7 @@ class LivestreamService {
   stats::Accumulator rtmp_lag_;
   stats::Accumulator hls_lag_;
   std::uint64_t comments_rejected_ = 0;
+  std::vector<std::unique_ptr<CrowdDrive>> drives_;
 };
 
 }  // namespace livesim::core

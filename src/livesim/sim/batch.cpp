@@ -1,0 +1,66 @@
+#include "livesim/sim/batch.h"
+
+#include <algorithm>
+
+namespace livesim::sim {
+
+BatchTimeline::BatchTimeline(Simulator& sim, DurationUs window)
+    : sim_(sim), window_(window < 1 ? 1 : window) {}
+
+BatchTimeline::~BatchTimeline() {
+  if (pending_.valid()) sim_.cancel(pending_);
+}
+
+TimeUs BatchTimeline::quantize(TimeUs at) const noexcept {
+  if (at < 0) at = 0;
+  return ((at + window_ - 1) / window_) * window_;
+}
+
+void BatchTimeline::add(TimeUs at, std::uint64_t op) {
+  entries_.push_back(Entry{quantize(at), op});
+}
+
+void BatchTimeline::seal(BatchFn fn) {
+  sealed_ = true;
+  fn_ = std::move(fn);
+  if (entries_.empty()) return;
+
+  // Stable by window boundary: ops sharing a window keep add() order,
+  // so the within-batch order is the caller's insertion order at every
+  // thread count.
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) { return a.at < b.at; });
+
+  ops_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (batches_.empty() || batches_.back().at != e.at) {
+      Batch b;
+      b.at = e.at;
+      b.begin = b.end = static_cast<std::uint32_t>(ops_.size());
+      batches_.push_back(b);
+    }
+    ops_.push_back(e.op);
+    ++batches_.back().end;
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+
+  pending_ = sim_.schedule_at(batches_.front().at, [this] { fire(); });
+}
+
+void BatchTimeline::fire() {
+  const Batch& b = batches_[fired_];
+  ++fired_;
+  // Re-aim BEFORE running the batch: ops may schedule into the engine
+  // (joins arm polling) and the chain's FIFO position must not depend
+  // on how much work this batch did. reschedule_current reuses this
+  // slot and closure in place -- the PeriodicProcess fast path -- so
+  // the whole timeline occupies exactly one arena slot for its life.
+  pending_ = fired_ < batches_.size()
+                 ? sim_.reschedule_current(batches_[fired_].at)
+                 : EventHandle{};
+  fn_(b.at, std::span<const std::uint64_t>(ops_.data() + b.begin,
+                                           b.end - b.begin));
+}
+
+}  // namespace livesim::sim

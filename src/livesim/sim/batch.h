@@ -1,0 +1,97 @@
+// Batched op timeline: the join-storm admission path.
+//
+// A flash crowd is 10^5..10^6 pre-declared (time, op) pairs. Scheduling
+// each as its own engine event would thaw the storm into per-viewer
+// slots, heap entries, and callback closures -- exactly the per-viewer
+// cost the poll wheel removed from the steady state. A BatchTimeline
+// instead quantizes every op time UP to the next multiple of a fixed
+// window, groups the ops into one flat pre-sized vector partitioned by
+// window, and drives the whole timeline through ONE chained engine
+// event: the pending event always aims at the earliest remaining
+// non-empty window, and each firing hands the caller that window's ops
+// as a contiguous span, then re-aims at the next window (the same
+// single-pending-event discipline sim::PollWheel uses for poll ticks).
+//
+// Cost model: seal() is one stable sort over the ops; after that the
+// engine sees exactly `batches()` events for the entire timeline --
+// zero allocations, zero per-op heap traffic.
+//
+// Determinism contract:
+//  * quantize(t) depends only on (t, window): ceil to the next window
+//    boundary, so an op never fires early and never slips more than one
+//    window past its requested time (the admission-latency bound the
+//    crowd bench pins).
+//  * Ops mapping to the same window fire in add() order (stable sort),
+//    so the caller's insertion order IS the within-batch order at every
+//    thread count.
+#ifndef LIVESIM_SIM_BATCH_H
+#define LIVESIM_SIM_BATCH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "livesim/sim/simulator.h"
+
+namespace livesim::sim {
+
+class BatchTimeline {
+ public:
+  /// One call per non-empty window: `at` is the window boundary the
+  /// batch fired on, `ops` the opaque payloads in add() order.
+  using BatchFn = InplaceFunction<void(TimeUs, std::span<const std::uint64_t>)>;
+
+  /// `window` <= 0 is clamped to 1 us (every op gets its own batch).
+  BatchTimeline(Simulator& sim, DurationUs window);
+  ~BatchTimeline();
+
+  BatchTimeline(const BatchTimeline&) = delete;
+  BatchTimeline& operator=(const BatchTimeline&) = delete;
+
+  /// The smallest window boundary at or after `at` (negative clamps
+  /// to 0). quantize(k * window) == k * window: an op landing exactly
+  /// on a boundary pays zero latency.
+  TimeUs quantize(TimeUs at) const noexcept;
+
+  /// Declares one op. Only valid before seal().
+  void add(TimeUs at, std::uint64_t op);
+
+  /// Sorts, groups, and schedules the chain. Call exactly once; an
+  /// empty timeline seals to nothing and touches the engine not at all.
+  void seal(BatchFn fn);
+
+  DurationUs window() const noexcept { return window_; }
+  std::size_t ops() const noexcept { return ops_.size(); }
+  /// Non-empty windows (valid after seal()): the engine-event count for
+  /// the whole timeline.
+  std::size_t batches() const noexcept { return batches_.size(); }
+  std::size_t batches_fired() const noexcept { return fired_; }
+  bool sealed() const noexcept { return sealed_; }
+
+ private:
+  struct Entry {
+    TimeUs at;         // quantized window boundary
+    std::uint64_t op;
+  };
+  struct Batch {
+    TimeUs at;
+    std::uint32_t begin = 0;  // [begin, end) into ops_
+    std::uint32_t end = 0;
+  };
+
+  void fire();  // runs batches_[fired_], then re-aims at the next one
+
+  Simulator& sim_;
+  DurationUs window_;
+  BatchFn fn_;
+  std::vector<Entry> entries_;        // staging; cleared by seal()
+  std::vector<std::uint64_t> ops_;    // flat, batch-partitioned
+  std::vector<Batch> batches_;
+  std::size_t fired_ = 0;
+  EventHandle pending_{};
+  bool sealed_ = false;
+};
+
+}  // namespace livesim::sim
+
+#endif  // LIVESIM_SIM_BATCH_H
